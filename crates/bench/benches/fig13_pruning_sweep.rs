@@ -1,0 +1,77 @@
+//! Figure 13: the pruning-threshold trade-off — relative geometric-mean
+//! kernelization cost (vs greedy packing) against preprocessing time as
+//! `T` sweeps from 4 to 2000.
+//!
+//! Reproduction targets: cost decreases monotonically (with diminishing
+//! returns) while time grows roughly exponentially with `T`; even `T = 4`
+//! beats ORDERED KERNELIZE on both axes.
+
+use atlas_bench::{families, full_grid, geomean, section, size_range, write_csv};
+use atlas_circuit::Circuit;
+use atlas_core::kernelize::{self, KGate, KernelCost};
+use atlas_machine::CostModel;
+use std::time::Instant;
+
+fn kgates(c: &Circuit) -> Vec<KGate> {
+    let cm = CostModel::default();
+    c.gates()
+        .iter()
+        .map(|g| KGate { mask: g.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(g) })
+        .collect()
+}
+
+fn main() {
+    section("Figure 13: pruning threshold T — relative cost vs preprocessing time");
+    let kc = KernelCost::from_machine(&CostModel::default());
+    let thresholds: &[usize] =
+        if full_grid() { &[4, 10, 20, 50, 100, 200, 500, 1000, 2000, 4000] } else { &[4, 20, 100, 500, 1000] };
+    // One representative size per family by default (the paper uses all
+    // 99 circuits; ATLAS_BENCH_FULL=1 uses the whole Table I grid).
+    let sizes: Vec<u32> = if full_grid() { size_range() } else { vec![30] };
+
+    let mut suites: Vec<(String, Vec<KGate>, f64)> = Vec::new();
+    for fam in families() {
+        for &n in &sizes {
+            let gates = kgates(&fam.generate(n));
+            let greedy = kernelize::kernelize_greedy(&gates, &kc, 5).cost;
+            suites.push((format!("{}_{n}", fam.name()), gates, greedy));
+        }
+    }
+
+    // The Atlas-Naive reference point.
+    let t0 = Instant::now();
+    let naive_rel: Vec<f64> = suites
+        .iter()
+        .map(|(_, gates, greedy)| kernelize::kernelize_ordered(gates, &kc).cost / greedy)
+        .collect();
+    let naive_time = t0.elapsed().as_secs_f64() / suites.len() as f64;
+    println!(
+        "{:>6} {:>14} {:>16}",
+        "T", "rel geomean", "mean preproc (s)"
+    );
+    println!("{:>6} {:>14.4} {:>16.4}   <- Atlas-Naive (Alg. 5)", "-", geomean(&naive_rel), naive_time);
+
+    let mut rows = Vec::new();
+    let mut prev_cost = f64::INFINITY;
+    for &t in thresholds {
+        let t0 = Instant::now();
+        let rels: Vec<f64> = suites
+            .iter()
+            .map(|(_, gates, greedy)| kernelize::kernelize(gates, &kc, t).cost / greedy)
+            .collect();
+        let elapsed = t0.elapsed().as_secs_f64() / suites.len() as f64;
+        let rel = geomean(&rels);
+        println!("{t:>6} {rel:>14.4} {elapsed:>16.4}");
+        assert!(
+            rel <= prev_cost + 1e-6,
+            "cost must not increase with larger T (got {rel} after {prev_cost})"
+        );
+        prev_cost = rel.min(prev_cost);
+        rows.push(format!("{t},{rel},{elapsed}"));
+    }
+    println!("(paper: flattens near T=500 with preprocessing a few seconds per circuit)");
+
+    if let Some(p) = write_csv("fig13_pruning", "T,rel_geomean_cost,mean_time_s", &rows) {
+        println!("wrote {p}");
+    }
+}

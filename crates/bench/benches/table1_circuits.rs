@@ -1,0 +1,61 @@
+//! Table I + Table II: the benchmark circuits and their gate counts.
+//!
+//! Regenerates both tables from the circuit generators and reports the
+//! deviation from the paper's published counts (exact for 10 of 11
+//! families; qpeexact ±2; hhl within a few percent).
+
+use atlas_bench::{section, write_csv};
+use atlas_circuit::generators::{hhl, Family};
+
+/// Paper's Table I, per family, n = 28..=36.
+const TABLE1: &[(&str, [usize; 9])] = &[
+    ("ae", [514, 547, 581, 616, 652, 689, 727, 766, 806]),
+    ("dj", [82, 85, 88, 91, 94, 97, 100, 103, 106]),
+    ("ghz", [28, 29, 30, 31, 32, 33, 34, 35, 36]),
+    ("graphstate", [56, 58, 60, 62, 64, 66, 68, 70, 72]),
+    ("ising", [302, 313, 324, 335, 346, 357, 368, 379, 390]),
+    ("qft", [406, 435, 465, 496, 528, 561, 595, 630, 666]),
+    ("qpeexact", [432, 463, 493, 524, 559, 593, 628, 664, 701]),
+    ("qsvm", [274, 284, 294, 304, 314, 324, 334, 344, 354]),
+    ("su2random", [1246, 1334, 1425, 1519, 1616, 1716, 1819, 1925, 2034]),
+    ("vqc", [1873, 1998, 2127, 2260, 2397, 2538, 2683, 2832, 2985]),
+    ("wstate", [109, 113, 117, 121, 125, 129, 133, 137, 141]),
+];
+
+/// Paper's Table II (hhl).
+const TABLE2: &[(u32, usize)] = &[(4, 80), (7, 689), (9, 91968), (10, 186795)];
+
+fn main() {
+    section("Table I: benchmark circuits and their size (number of gates)");
+    println!("{:<12} {:>7} {:>7} {:>7}", "circuit", "n", "paper", "ours");
+    let mut rows = Vec::new();
+    let mut worst_dev = 0.0f64;
+    for &(name, paper_counts) in TABLE1 {
+        let fam = Family::from_name(name).unwrap();
+        for (i, &paper) in paper_counts.iter().enumerate() {
+            let n = 28 + i as u32;
+            let ours = fam.generate(n).num_gates();
+            let dev = 100.0 * (ours as f64 - paper as f64).abs() / paper as f64;
+            worst_dev = worst_dev.max(dev);
+            if i == 0 || i == 4 || i == 8 {
+                println!("{name:<12} {n:>7} {paper:>7} {ours:>7}");
+            }
+            rows.push(format!("{name},{n},{paper},{ours}"));
+        }
+    }
+    println!("(3 of 9 sizes shown per family; full grid in the CSV)");
+    println!("worst deviation from the paper's counts: {worst_dev:.2}%");
+
+    section("Table II: number of gates in the hhl circuit");
+    println!("{:>8} {:>10} {:>10} {:>7}", "qubits", "paper", "ours", "dev%");
+    for &(nq, paper) in TABLE2 {
+        let ours = hhl(nq).num_gates();
+        let dev = 100.0 * (ours as f64 - paper as f64).abs() / paper as f64;
+        println!("{nq:>8} {paper:>10} {ours:>10} {dev:>6.1}%");
+        rows.push(format!("hhl,{nq},{paper},{ours}"));
+    }
+
+    if let Some(p) = write_csv("table1_table2", "family,n,paper_gates,our_gates", &rows) {
+        println!("\nwrote {p}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Insular-qubit classification (paper Definition 2) and gate
+//! specialization (Appendix B-a / Häner & Steiger "global gate
+//! specialization").
+//!
+//! A qubit position `t` of a gate is *insular* when the gate's unitary,
+//! viewed in block form over that qubit, is block-diagonal (output value of
+//! `t` equals its input value) or block-anti-diagonal (output value is the
+//! flipped input). Insular qubits may be mapped to regional/global physical
+//! qubits: each shard knows the fixed value of the qubit, so the gate
+//! reduces to a smaller gate on the remaining qubits — no communication.
+//!
+//! This single numeric criterion reproduces Definition 2 exactly:
+//! * 1-qubit gates: insular ⇔ matrix diagonal or anti-diagonal;
+//! * controlled-U: every control qubit is block-diagonal (`M00=I, M11=U`);
+//! * gates like CZ/CP/CCZ whose full matrix is diagonal: *all* qubits
+//!   insular (the paper's footnote 2).
+
+use crate::gate::Gate;
+use atlas_qmath::{insert_bit, Matrix};
+
+/// How a gate treats one of its qubit positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsularKind {
+    /// Output value of the qubit = input value (block-diagonal).
+    Diagonal,
+    /// Output value of the qubit = flipped input value (block-anti-diagonal).
+    AntiDiagonal,
+    /// The gate mixes the two values of the qubit; it must be local.
+    NonInsular,
+}
+
+impl InsularKind {
+    /// `true` unless [`InsularKind::NonInsular`].
+    #[inline]
+    pub fn is_insular(self) -> bool {
+        self != InsularKind::NonInsular
+    }
+}
+
+const BLOCK_EPS: f64 = 1e-12;
+
+/// Extracts the block `M[out = a][in = b]` of `m` over qubit position `t`:
+/// the sub-matrix mapping inputs with bit `t = b` to outputs with bit
+/// `t = a`, of dimension half of `m`.
+pub fn qubit_block(m: &Matrix, t: u32, a: u8, b: u8) -> Matrix {
+    let half = m.rows() / 2;
+    let mut out = Matrix::zeros(half, half);
+    for r in 0..half {
+        let row = insert_bit(r as u64, t) as usize | ((a as usize) << t);
+        for c in 0..half {
+            let col = insert_bit(c as u64, t) as usize | ((b as usize) << t);
+            out[(r, c)] = m[(row, col)];
+        }
+    }
+    out
+}
+
+fn block_is_zero(m: &Matrix, t: u32, a: u8, b: u8) -> bool {
+    let half = m.rows() / 2;
+    for r in 0..half {
+        let row = insert_bit(r as u64, t) as usize | ((a as usize) << t);
+        for c in 0..half {
+            let col = insert_bit(c as u64, t) as usize | ((b as usize) << t);
+            if !m[(row, col)].is_zero(BLOCK_EPS) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Classifies qubit position `t` of the unitary `m`.
+pub fn classify_qubit(m: &Matrix, t: u32) -> InsularKind {
+    if block_is_zero(m, t, 0, 1) && block_is_zero(m, t, 1, 0) {
+        InsularKind::Diagonal
+    } else if block_is_zero(m, t, 0, 0) && block_is_zero(m, t, 1, 1) {
+        InsularKind::AntiDiagonal
+    } else {
+        InsularKind::NonInsular
+    }
+}
+
+/// Per-position insularity of a gate. Index `i` corresponds to
+/// `gate.qubits[i]`.
+pub fn gate_insularity(gate: &Gate) -> Vec<InsularKind> {
+    let m = gate.matrix();
+    (0..gate.arity() as u32).map(|t| classify_qubit(&m, t)).collect()
+}
+
+/// Bitmask over *circuit* qubits of the gate's non-insular qubits — the
+/// qubits the staging algorithm must map to local physical qubits.
+pub fn non_insular_mask(gate: &Gate) -> u64 {
+    let ins = gate_insularity(gate);
+    gate.qubits
+        .iter()
+        .zip(ins.iter())
+        .filter(|(_, k)| !k.is_insular())
+        .fold(0u64, |m, (q, _)| m | (1u64 << q))
+}
+
+/// The locality mask the *staging* algorithm uses — Definition 2 with one
+/// executor-driven tightening: anti-diagonal qubits of **multi-qubit**
+/// gates are treated as non-insular (they must be local).
+///
+/// Rationale: a non-local anti-diagonal qubit relabels a shard bit (a
+/// "flip"). For a fully-insular gate (single-qubit X/Y, or an all-insular
+/// multi-qubit gate with every qubit non-local) the whole gate reduces to
+/// a per-shard scalar plus the relabel, which the executor folds into the
+/// next all-to-all for free — exactly Häner & Steiger's specialization.
+/// But a *mixed* gate that flips a non-local bit while transforming local
+/// amplitudes would interleave physical data movement with kernel
+/// execution; Atlas' stage structure (communication only at boundaries)
+/// forbids that, so such qubits are pinned local. In the benchmark gate
+/// alphabet only `RXX(π)` (measure-zero in parameter space) is affected.
+pub fn staging_mask(gate: &Gate) -> u64 {
+    let ins = gate_insularity(gate);
+    let mut mask = 0u64;
+    for (q, k) in gate.qubits.iter().zip(ins.iter()) {
+        let pinned = match k {
+            InsularKind::NonInsular => true,
+            InsularKind::AntiDiagonal => gate.arity() > 1,
+            InsularKind::Diagonal => false,
+        };
+        if pinned {
+            mask |= 1u64 << q;
+        }
+    }
+    mask
+}
+
+/// The result of fixing one insular qubit of a gate to a known value: a
+/// reduced unitary on the remaining qubit positions plus the (known) output
+/// value of the fixed qubit.
+#[derive(Clone, Debug)]
+pub struct ReducedGate {
+    /// Unitary over the remaining `k-1` qubit positions (dimension
+    /// `2^{k-1}`; a `1×1` scalar when the gate was single-qubit).
+    pub matrix: Matrix,
+    /// The output value of the fixed qubit (`= input` for Diagonal,
+    /// flipped for AntiDiagonal).
+    pub out_value: u8,
+}
+
+/// Fixes insular qubit position `t` of unitary `m` to input value `b`.
+/// Returns `None` if the position is not insular.
+pub fn fix_qubit(m: &Matrix, t: u32, b: u8) -> Option<ReducedGate> {
+    match classify_qubit(m, t) {
+        InsularKind::Diagonal => {
+            Some(ReducedGate { matrix: qubit_block(m, t, b, b), out_value: b })
+        }
+        InsularKind::AntiDiagonal => {
+            Some(ReducedGate { matrix: qubit_block(m, t, 1 - b, b), out_value: 1 - b })
+        }
+        InsularKind::NonInsular => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, GateKind};
+    use atlas_qmath::Complex64;
+
+    #[test]
+    fn single_qubit_classification_matches_def2() {
+        use GateKind::*;
+        use InsularKind::*;
+        let cases: Vec<(GateKind, InsularKind)> = vec![
+            (Z, Diagonal),
+            (S, Diagonal),
+            (T, Diagonal),
+            (Tdg, Diagonal),
+            (RZ(0.3), Diagonal),
+            (P(1.0), Diagonal),
+            (X, AntiDiagonal),
+            (Y, AntiDiagonal),
+            (H, NonInsular),
+            (SX, NonInsular),
+            (RX(0.5), NonInsular),
+            (RY(0.5), NonInsular),
+        ];
+        for (k, expect) in cases {
+            let g = Gate::new(k, &[0]);
+            assert_eq!(gate_insularity(&g)[0], expect, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn rx_pi_becomes_anti_diagonal() {
+        // Numeric classification catches parameter special cases: RX(π) = -iX.
+        let g = Gate::new(GateKind::RX(std::f64::consts::PI), &[0]);
+        assert_eq!(gate_insularity(&g)[0], InsularKind::AntiDiagonal);
+    }
+
+    #[test]
+    fn controls_are_insular_targets_are_not() {
+        let cx = Gate::new(GateKind::CX, &[0, 1]);
+        let ins = gate_insularity(&cx);
+        assert_eq!(ins[0], InsularKind::Diagonal); // control
+        assert_eq!(ins[1], InsularKind::NonInsular); // target
+        let ccx = Gate::new(GateKind::CCX, &[0, 1, 2]);
+        let ins = gate_insularity(&ccx);
+        assert!(ins[0].is_insular() && ins[1].is_insular());
+        assert!(!ins[2].is_insular());
+    }
+
+    #[test]
+    fn fully_diagonal_gates_have_all_insular_qubits() {
+        // Footnote 2 of the paper: CZ / CP / CCZ / CRZ / RZZ.
+        for (kind, n) in [
+            (GateKind::CZ, 2usize),
+            (GateKind::CP(0.7), 2),
+            (GateKind::CRZ(0.9), 2),
+            (GateKind::RZZ(0.4), 2),
+            (GateKind::CCZ, 3),
+        ] {
+            let qs: Vec<u32> = (0..n as u32).collect();
+            let g = Gate::new(kind, &qs);
+            assert!(
+                gate_insularity(&g).iter().all(|k| k.is_insular()),
+                "{kind:?} should be all-insular"
+            );
+            assert_eq!(non_insular_mask(&g), 0);
+        }
+    }
+
+    #[test]
+    fn swap_is_fully_non_insular() {
+        let g = Gate::new(GateKind::Swap, &[0, 1]);
+        assert!(gate_insularity(&g).iter().all(|k| !k.is_insular()));
+    }
+
+    #[test]
+    fn non_insular_mask_uses_circuit_qubits() {
+        let g = Gate::new(GateKind::CX, &[7, 3]); // control 7, target 3
+        assert_eq!(non_insular_mask(&g), 1 << 3);
+    }
+
+    #[test]
+    fn fix_control_of_cx() {
+        let m = GateKind::CX.matrix();
+        // control = position 0. Fixed to 0: identity on target.
+        let r0 = fix_qubit(&m, 0, 0).unwrap();
+        assert_eq!(r0.out_value, 0);
+        assert!(r0.matrix.approx_eq(&Matrix::identity(2), 1e-12));
+        // Fixed to 1: X on target.
+        let r1 = fix_qubit(&m, 0, 1).unwrap();
+        assert_eq!(r1.out_value, 1);
+        assert!(r1.matrix.approx_eq(&GateKind::X.matrix(), 1e-12));
+        // Target position is not insular.
+        assert!(fix_qubit(&m, 1, 0).is_none());
+    }
+
+    #[test]
+    fn fix_anti_diagonal_x() {
+        let m = GateKind::X.matrix();
+        let r = fix_qubit(&m, 0, 0).unwrap();
+        assert_eq!(r.out_value, 1);
+        // scalar block = 1.
+        assert!(r.matrix[(0, 0)].approx_eq(Complex64::ONE, 1e-12));
+        let my = GateKind::Y.matrix();
+        let ry = fix_qubit(&my, 0, 0).unwrap();
+        assert_eq!(ry.out_value, 1);
+        assert!(ry.matrix[(0, 0)].approx_eq(Complex64::I, 1e-12)); // Y|0> = i|1>
+        let ry1 = fix_qubit(&my, 0, 1).unwrap();
+        assert_eq!(ry1.out_value, 0);
+        assert!(ry1.matrix[(0, 0)].approx_eq(-Complex64::I, 1e-12));
+    }
+
+    #[test]
+    fn fix_qubit_of_diagonal_two_qubit_gate() {
+        // CP with qubit 0 fixed to 1 reduces to P on the other.
+        let m = GateKind::CP(0.8).matrix();
+        let r = fix_qubit(&m, 0, 1).unwrap();
+        assert!(r.matrix.approx_eq(&GateKind::P(0.8).matrix(), 1e-12));
+        let r0 = fix_qubit(&m, 0, 0).unwrap();
+        assert!(r0.matrix.approx_eq(&Matrix::identity(2), 1e-12));
+    }
+}

@@ -1,0 +1,17 @@
+//! # atlas-circuit
+//!
+//! Quantum-circuit intermediate representation for the Atlas simulator:
+//! the gate set with exact unitaries, the insular-qubit classification of
+//! the paper's Definition 2, circuit containers with dependency extraction,
+//! a QASM-subset reader/writer, and parameterized generators for the
+//! benchmark families of Table I / Table II.
+
+pub mod circuit;
+pub mod gate;
+pub mod generators;
+pub mod insular;
+pub mod qasm;
+
+pub use circuit::Circuit;
+pub use gate::{Gate, GateKind, Qubits};
+pub use insular::{InsularKind, ReducedGate};

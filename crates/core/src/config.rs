@@ -1,0 +1,95 @@
+//! Tunable parameters of the Atlas pipeline, with the paper's defaults.
+
+use std::time::Duration;
+
+/// Which algorithm picks the stages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StagingAlgo {
+    /// Atlas: the ILP model solved by the structure-exploiting search
+    /// (default — see `staging::search`).
+    IlpSearch,
+    /// Atlas: the ILP model solved by the generic `atlas-ilp`
+    /// branch-and-bound. Exact but only tractable for small circuits.
+    GenericIlp,
+    /// The SnuQS greedy heuristic (§VII-D baseline).
+    Snuqs,
+}
+
+/// Which algorithm groups a stage's gates into kernels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelAlgo {
+    /// Atlas: the KERNELIZE DP (Algorithms 3–4), with pruning threshold T.
+    Dp,
+    /// ORDERED KERNELIZE (Algorithm 5) — "Atlas-Naive".
+    Ordered,
+    /// Greedy fusion packing up to the given qubit count (§VII-E
+    /// baseline; 5 is the most cost-efficient size).
+    Greedy(u32),
+    /// Greedy hybrid packing choosing fusion or shared-memory per group
+    /// (HyQuas-style SHM-GROUPING / TransMM selection).
+    GreedyHybrid(u32),
+}
+
+/// Configuration for staging, kernelization and execution.
+#[derive(Clone, Debug)]
+pub struct AtlasConfig {
+    /// Inter-node communication cost factor `c` in the staging objective
+    /// (Eq. 2). The paper sets 3 (§VI-C).
+    pub inter_node_cost_factor: i64,
+    /// Kernelization DP pruning threshold `T` (Appendix B-f). The paper
+    /// sets 500.
+    pub pruning_threshold: usize,
+    /// Maximum number of stages Algorithm 2 will try before giving up.
+    pub max_stages: usize,
+    /// Node budget for the generic ILP solver per `s` attempt.
+    pub ilp_node_limit: u64,
+    /// Time budget for the generic ILP solver per `s` attempt.
+    pub ilp_time_limit: Duration,
+    /// Beam width of the staging search solver.
+    pub staging_beam_width: usize,
+    /// Staging algorithm.
+    pub staging: StagingAlgo,
+    /// Kernelization algorithm.
+    pub kernelizer: KernelAlgo,
+    /// Unpermute the final state back to the identity qubit layout after
+    /// the last stage (needed when reading amplitudes out; benchmarks that
+    /// reproduce the paper's timing leave it off, as the paper reports the
+    /// simulation time with the final layout in place).
+    pub final_unpermute: bool,
+}
+
+impl Default for AtlasConfig {
+    fn default() -> Self {
+        AtlasConfig {
+            inter_node_cost_factor: 3,
+            pruning_threshold: 500,
+            max_stages: 64,
+            ilp_node_limit: 2_000_000,
+            ilp_time_limit: Duration::from_secs(20),
+            staging_beam_width: 64,
+            staging: StagingAlgo::IlpSearch,
+            kernelizer: KernelAlgo::Dp,
+            final_unpermute: false,
+        }
+    }
+}
+
+impl AtlasConfig {
+    /// Configuration for functional-correctness runs: exact solvers where
+    /// affordable and a final unpermute so amplitudes are directly
+    /// comparable to the reference simulator.
+    pub fn for_validation() -> Self {
+        AtlasConfig { final_unpermute: true, ..Default::default() }
+    }
+
+    /// HyQuas-style configuration: SnuQS-like greedy staging plus greedy
+    /// hybrid (fusion / shared-memory) grouping. Used by
+    /// `atlas-baselines`.
+    pub fn hyquas_like() -> Self {
+        AtlasConfig {
+            staging: StagingAlgo::Snuqs,
+            kernelizer: KernelAlgo::GreedyHybrid(6),
+            ..Default::default()
+        }
+    }
+}

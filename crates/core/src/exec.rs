@@ -1,0 +1,480 @@
+//! PARTITION + EXECUTE (Algorithm 1): compile a staged circuit into
+//! per-stage qubit mappings, insular-specialized kernels and scalar
+//! schedules, then run them on the (simulated) machine.
+//!
+//! ## Physical layout
+//!
+//! A stage maps logical qubit `q` to physical bit `mapping[q]`: local
+//! qubits to bits `0..L`, regional to `L..L+R`, global to `L+R..n`.
+//! Between stages the state is re-laid-out with one all-to-all
+//! (`Machine::permute_state`), the only communication in the whole run —
+//! the paper's central property.
+//!
+//! ## Insular specialization (Appendix B-a)
+//!
+//! Gates whose non-local qubits are insular are specialized per shard: the
+//! shard index fixes the values of all non-local bits, so each such qubit
+//! is eliminated from the gate's unitary ([`atlas_circuit::insular`]),
+//! leaving a smaller local gate, or — when every qubit is non-local — a
+//! pure scalar. Anti-diagonal single-qubit gates (X/Y) on non-local qubits
+//! become shard-bit *relabels* ("flips") folded into the next all-to-all
+//! for free, plus a per-shard scalar.
+
+use crate::config::AtlasConfig;
+use crate::kernelize::{self, KGate, KernelCost, Kernelization};
+use crate::plan::{Kernel, KernelKind, Stage};
+use crate::staging::{self, StagingOutcome};
+use atlas_circuit::{insular, Circuit, Gate};
+use atlas_machine::{CostModel, Machine};
+use atlas_qmath::{Complex64, Matrix, QubitPermutation};
+use std::collections::HashMap;
+
+/// One non-local (insular) qubit of a gate, read per shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ReadBit {
+    /// Qubit position within the gate (matrix bit index).
+    pub pos: u32,
+    /// Physical bit (`≥ L`).
+    pub phys: u32,
+    /// Flip state of this physical bit at the gate's stage position.
+    pub flip_snap: bool,
+}
+
+/// One gate of a stage, reduced to its local content.
+#[derive(Clone, Debug)]
+pub struct GateTemplate {
+    /// Index of the gate in the circuit.
+    pub circuit_gate: usize,
+    /// Local physical bits (each `< L`), in the gate's own qubit order
+    /// restricted to local qubits.
+    pub local_phys: Vec<u32>,
+    /// Non-local qubits the gate reads (insular), in gate-position order.
+    pub reads: Vec<ReadBit>,
+    /// Shared-memory cost of the original gate (per amplitude, ns).
+    pub shm_ns: f64,
+}
+
+/// A fully-reduced gate: contributes only a per-shard scalar (and possibly
+/// shard-bit flips).
+#[derive(Clone, Debug)]
+pub struct ScalarTemplate {
+    /// Index of the gate in the circuit.
+    pub circuit_gate: usize,
+    /// Non-local qubits read, in gate-position order.
+    pub reads: Vec<ReadBit>,
+}
+
+/// The compiled form of one stage.
+#[derive(Clone, Debug)]
+pub struct StagePlan {
+    /// The staging-level stage (gates + logical partition).
+    pub stage: Stage,
+    /// Logical qubit → physical bit.
+    pub mapping: Vec<u32>,
+    /// Templates for gates with local content, in stage order.
+    pub templates: Vec<GateTemplate>,
+    /// Fully-reduced scalar gates, in stage order.
+    pub scalars: Vec<ScalarTemplate>,
+    /// Shard-bit flips accumulated across the stage (physical mask) —
+    /// folded into the next all-to-all.
+    pub flips: u64,
+    /// Kernels over `templates` indices.
+    pub kernels: Vec<Kernel>,
+    /// Eq. 12 cost of this stage's kernelization.
+    pub kernel_cost: f64,
+}
+
+/// The full execution plan (the output of PARTITION).
+#[derive(Clone, Debug)]
+pub struct FullPlan {
+    /// Compiled stages.
+    pub stages: Vec<StagePlan>,
+    /// Eq. 2 staging cost.
+    pub staging_cost: i64,
+    /// Whether staging proved stage-count minimality.
+    pub staging_optimal: bool,
+    /// Σ kernel cost over stages.
+    pub kernel_cost: f64,
+    /// L and G used.
+    pub l: u32,
+    /// Number of global qubits.
+    pub g: u32,
+}
+
+/// Builds the logical→physical mapping for a stage, keeping qubits at
+/// their previous position whenever their class's physical range allows.
+fn build_mapping(
+    partition: &crate::plan::QubitPartition,
+    prev: Option<&[u32]>,
+    n: u32,
+    l: u32,
+    g: u32,
+) -> Vec<u32> {
+    let r = n - l - g;
+    let ranges = [(0u32, l), (l, l + r), (l + r, n)];
+    let classes: [&[u32]; 3] =
+        [&partition.local, &partition.regional, &partition.global];
+    let mut mapping = vec![u32::MAX; n as usize];
+    let mut used = vec![false; n as usize];
+    // First pass: keep stable positions.
+    for (class, &(lo, hi)) in classes.iter().zip(&ranges) {
+        for &q in *class {
+            if let Some(pm) = prev {
+                let p = pm[q as usize];
+                if p >= lo && p < hi && !used[p as usize] {
+                    mapping[q as usize] = p;
+                    used[p as usize] = true;
+                }
+            }
+        }
+    }
+    // Second pass: fill the rest in ascending order.
+    for (class, &(lo, hi)) in classes.iter().zip(&ranges) {
+        let mut next = lo;
+        for &q in *class {
+            if mapping[q as usize] != u32::MAX {
+                continue;
+            }
+            while used[next as usize] {
+                next += 1;
+            }
+            debug_assert!(next < hi);
+            mapping[q as usize] = next;
+            used[next as usize] = true;
+        }
+    }
+    mapping
+}
+
+/// Compiles one stage: insular reduction, flip tracking, kernelization.
+fn compile_stage(
+    circuit: &Circuit,
+    stage: Stage,
+    mapping: Vec<u32>,
+    l: u32,
+    cost: &CostModel,
+    kc: &KernelCost,
+    cfg: &AtlasConfig,
+) -> StagePlan {
+    let mut templates = Vec::new();
+    let mut scalars = Vec::new();
+    let mut flips = 0u64;
+    for &gi in &stage.gates {
+        let gate = &circuit.gates()[gi];
+        let ins = insular::gate_insularity(gate);
+        let mut local_phys = Vec::new();
+        let mut reads = Vec::new();
+        let mut flip_mask = 0u64;
+        for (t, q) in gate.qubits.iter().enumerate() {
+            let p = mapping[q as usize];
+            if p < l {
+                local_phys.push(p);
+            } else {
+                debug_assert!(
+                    ins[t].is_insular(),
+                    "staging must keep non-insular qubits local (gate {gi})"
+                );
+                reads.push(ReadBit { pos: t as u32, phys: p, flip_snap: flips >> p & 1 == 1 });
+                if ins[t] == insular::InsularKind::AntiDiagonal {
+                    flip_mask |= 1u64 << p;
+                }
+            }
+        }
+        if local_phys.is_empty() {
+            scalars.push(ScalarTemplate { circuit_gate: gi, reads });
+        } else {
+            debug_assert_eq!(flip_mask, 0, "mixed gates never flip non-local bits");
+            templates.push(GateTemplate {
+                circuit_gate: gi,
+                local_phys,
+                reads,
+                shm_ns: cost.shm_gate_unit_ns(gate),
+            });
+        }
+        flips ^= flip_mask;
+    }
+    // Kernelize the local content.
+    let kgates: Vec<KGate> = templates
+        .iter()
+        .map(|t| KGate {
+            mask: t.local_phys.iter().fold(0u64, |m, &p| m | (1 << p)),
+            shm_ns: t.shm_ns,
+        })
+        .collect();
+    let Kernelization { kernels, cost: kernel_cost } =
+        kernelize::kernelize_with(cfg.kernelizer, cfg.pruning_threshold, &kgates, kc);
+    StagePlan { stage, mapping, templates, scalars, flips, kernels, kernel_cost }
+}
+
+/// PARTITION (Algorithm 1, lines 1–8): stage, map, reduce, kernelize.
+pub fn plan(
+    circuit: &Circuit,
+    l: u32,
+    g: u32,
+    cost: &CostModel,
+    cfg: &AtlasConfig,
+) -> Result<FullPlan, String> {
+    let StagingOutcome { stages, cost: staging_cost, optimal } =
+        staging::stage_circuit(circuit, l, g, cfg)?;
+    plan_from_stages(circuit, stages, staging_cost, optimal, l, g, cost, cfg)
+}
+
+/// PARTITION from a pre-computed staging (used to plan with baseline
+/// staging algorithms for ablations).
+#[allow(clippy::too_many_arguments)]
+pub fn plan_from_stages(
+    circuit: &Circuit,
+    stages: Vec<Stage>,
+    staging_cost: i64,
+    staging_optimal: bool,
+    l: u32,
+    g: u32,
+    cost: &CostModel,
+    cfg: &AtlasConfig,
+) -> Result<FullPlan, String> {
+    let n = circuit.num_qubits();
+    let kc = KernelCost::from_machine(cost);
+    let mut plans = Vec::with_capacity(stages.len());
+    let mut prev_mapping: Option<Vec<u32>> = None;
+    let mut kernel_cost = 0.0;
+    for stage in stages {
+        let mapping = build_mapping(&stage.partition, prev_mapping.as_deref(), n, l, g);
+        let sp = compile_stage(circuit, stage, mapping, l, cost, &kc, cfg);
+        kernel_cost += sp.kernel_cost;
+        prev_mapping = Some(sp.mapping.clone());
+        plans.push(sp);
+    }
+    Ok(FullPlan {
+        stages: plans,
+        staging_cost,
+        staging_optimal,
+        kernel_cost,
+        l,
+        g,
+    })
+}
+
+/// Reduces a gate's unitary for a specific shard: fixes every non-local
+/// (insular) qubit to its known value (shard bit XOR flip snapshot),
+/// returning the matrix over the remaining (local) positions — a `1×1`
+/// scalar if none remain. Positions are fixed from highest to lowest so
+/// lower indices stay valid as the matrix shrinks.
+fn reduce_for_pattern(gate: &Gate, reads: &[ReadBit], shard_bits: u64, l: u32) -> Matrix {
+    let mut m = gate.matrix();
+    for rb in reads.iter().rev() {
+        let b = ((shard_bits >> (rb.phys - l)) & 1) as u8 ^ u8::from(rb.flip_snap);
+        let reduced =
+            insular::fix_qubit(&m, rb.pos, b).expect("non-local qubit must be insular");
+        m = reduced.matrix;
+    }
+    m
+}
+
+/// EXECUTE (Algorithm 1, lines 9–17).
+///
+/// The machine must have been initialized with the `|0…0⟩` state (any bit
+/// layout represents it identically) or pre-permuted into stage 0's
+/// layout by the caller.
+pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &AtlasConfig) {
+    let n = circuit.num_qubits();
+    let l = plan.l;
+    let num_shards = machine.num_shards();
+    let mut carried_flips = 0u64;
+    let mut prev_mapping: Option<&[u32]> = None;
+
+    for sp in &plan.stages {
+        // Stage transition: relayout + fold pending flips.
+        if let Some(pm) = prev_mapping {
+            let mut perm_map = vec![0u32; n as usize];
+            for q in 0..n as usize {
+                perm_map[pm[q] as usize] = sp.mapping[q];
+            }
+            let perm = QubitPermutation::from_map(perm_map);
+            let f = permute_mask(&perm, carried_flips);
+            machine.permute_state(&perm, f);
+            carried_flips = 0;
+        }
+
+        execute_stage(machine, circuit, sp, l, num_shards);
+        carried_flips ^= sp.flips;
+        machine.stage_barrier();
+        prev_mapping = Some(&sp.mapping);
+    }
+
+    // Final unpermute to the identity layout (validation runs).
+    if cfg.final_unpermute {
+        if let Some(pm) = prev_mapping {
+            let mut perm_map = vec![0u32; n as usize];
+            for q in 0..n as usize {
+                perm_map[pm[q] as usize] = q as u32;
+            }
+            let perm = QubitPermutation::from_map(perm_map);
+            let f = permute_mask(&perm, carried_flips);
+            machine.permute_state(&perm, f);
+        }
+    } else if carried_flips != 0 && !machine.is_dry() {
+        // Apply outstanding relabels so gathered state is consistent with
+        // the final mapping.
+        machine.permute_state(&QubitPermutation::identity(n as usize), carried_flips);
+    }
+}
+
+/// Applies a bit permutation to a bitmask.
+fn permute_mask(perm: &QubitPermutation, mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut m = mask;
+    while m != 0 {
+        let b = m.trailing_zeros();
+        m &= m - 1;
+        out |= 1u64 << perm.dst(b);
+    }
+    out
+}
+
+fn execute_stage(
+    machine: &mut Machine,
+    circuit: &Circuit,
+    sp: &StagePlan,
+    l: u32,
+    num_shards: usize,
+) {
+    let dry = machine.is_dry();
+    // Per-shard scalar from the fully-reduced gates.
+    let mut shard_scalars: Vec<Complex64> = vec![Complex64::ONE; num_shards];
+    if !dry {
+        let mut cache: HashMap<(usize, u64), Complex64> = HashMap::new();
+        for (si, st) in sp.scalars.iter().enumerate() {
+            let gate = &circuit.gates()[st.circuit_gate];
+            for (s, acc) in shard_scalars.iter_mut().enumerate() {
+                let key_bits = pattern_bits(&st.reads, s as u64, l);
+                let scalar = *cache.entry((si, key_bits)).or_insert_with(|| {
+                    let m = reduce_for_pattern(gate, &st.reads, s as u64, l);
+                    debug_assert_eq!(m.rows(), 1);
+                    m[(0, 0)]
+                });
+                *acc *= scalar;
+            }
+        }
+    }
+
+    // Kernels: per kernel, per shard — specialize and launch.
+    let mut scalar_pending: Vec<bool> = shard_scalars
+        .iter()
+        .map(|sc| !sc.approx_eq(Complex64::ONE, 0.0))
+        .collect();
+    for kernel in &sp.kernels {
+        match kernel.kind {
+            KernelKind::Fusion => {
+                let mut cache: HashMap<u64, Matrix> = HashMap::new();
+                for s in 0..num_shards {
+                    if dry {
+                        machine.run_fusion_kernel_dry(s, kernel.qubits.len() as u32);
+                        continue;
+                    }
+                    let key = kernel_pattern(sp, kernel, s as u64, l);
+                    let fused = cache.entry(key).or_insert_with(|| {
+                        build_fused(circuit, sp, kernel, s as u64, l)
+                    });
+                    // Fold the shard scalar into the first kernel for free.
+                    if scalar_pending[s] {
+                        let mut m = fused.clone();
+                        scale_matrix(&mut m, shard_scalars[s]);
+                        machine.run_fusion_kernel(s, &kernel.qubits, &m);
+                        scalar_pending[s] = false;
+                    } else {
+                        machine.run_fusion_kernel(s, &kernel.qubits, fused);
+                    }
+                }
+            }
+            KernelKind::SharedMemory => {
+                let per_amp: f64 =
+                    kernel.gates.iter().map(|&t| sp.templates[t].shm_ns).sum();
+                let active = shm_active_set(&kernel.qubits, l);
+                for s in 0..num_shards {
+                    if dry {
+                        machine.run_shm_kernel_parts(s, &active, &[], per_amp);
+                        continue;
+                    }
+                    let mut parts: Vec<(Vec<u32>, Matrix)> = Vec::new();
+                    for &t in &kernel.gates {
+                        let tp = &sp.templates[t];
+                        let gate = &circuit.gates()[tp.circuit_gate];
+                        let m = reduce_for_pattern(gate, &tp.reads, s as u64, l);
+                        parts.push((tp.local_phys.clone(), m));
+                    }
+                    if scalar_pending[s] {
+                        parts.push((Vec::new(), scalar_matrix(shard_scalars[s])));
+                        scalar_pending[s] = false;
+                    }
+                    machine.run_shm_kernel_parts(s, &active, &parts, per_amp);
+                }
+            }
+        }
+    }
+    // Shards whose scalar never got folded (stage without kernels).
+    for s in 0..num_shards {
+        if scalar_pending[s] {
+            machine.scale_shard(s, shard_scalars[s]);
+        }
+    }
+}
+
+/// The pattern key of a kernel for one shard: the raw shard bits of every
+/// non-local bit any member gate reads.
+fn kernel_pattern(sp: &StagePlan, kernel: &Kernel, shard_bits: u64, l: u32) -> u64 {
+    let mut key = 0u64;
+    for &t in &kernel.gates {
+        key |= pattern_bits(&sp.templates[t].reads, shard_bits, l);
+    }
+    key
+}
+
+fn pattern_bits(reads: &[ReadBit], shard_bits: u64, l: u32) -> u64 {
+    let mut key = 0u64;
+    for rb in reads {
+        key |= ((shard_bits >> (rb.phys - l)) & 1) << (rb.phys - l);
+    }
+    key
+}
+
+/// Builds the fused matrix of a fusion kernel for one shard.
+fn build_fused(circuit: &Circuit, sp: &StagePlan, kernel: &Kernel, shard_bits: u64, l: u32) -> Matrix {
+    let mut acc = Matrix::identity(1 << kernel.qubits.len());
+    for &t in &kernel.gates {
+        let tp = &sp.templates[t];
+        let gate = &circuit.gates()[tp.circuit_gate];
+        let m = reduce_for_pattern(gate, &tp.reads, shard_bits, l);
+        let expanded =
+            atlas_statevec::expand_to_kernel(&kernel.qubits, &tp.local_phys, &m);
+        acc = &expanded * &acc;
+    }
+    acc
+}
+
+fn scale_matrix(m: &mut Matrix, s: Complex64) {
+    for r in 0..m.rows() {
+        for c in 0..m.cols() {
+            m[(r, c)] = m[(r, c)] * s;
+        }
+    }
+}
+
+fn scalar_matrix(s: Complex64) -> Matrix {
+    let mut m = Matrix::zeros(1, 1);
+    m[(0, 0)] = s;
+    m
+}
+
+/// Shared-memory active set: the kernel's qubits plus the required three
+/// least significant local qubits (§VI-B footnote: 128-byte coalesced
+/// loads).
+fn shm_active_set(qubits: &[u32], l: u32) -> Vec<u32> {
+    let mut active: Vec<u32> = qubits.to_vec();
+    for q in 0..3u32.min(l) {
+        if !active.contains(&q) {
+            active.push(q);
+        }
+    }
+    active.sort_unstable();
+    active
+}

@@ -1,0 +1,573 @@
+//! The KERNELIZE dynamic program (Algorithms 3–4) with the DP-state
+//! representation of §VI-A and the Appendix-B optimizations.
+//!
+//! DP states hold the set of *open* kernels, each summarized by its kind
+//! (fusion / shared-memory, §VI-B), qubit set, extensible qubit set
+//! (Definition 3, maintained per Algorithm 4), and accumulated
+//! shared-memory gate cost. Closed kernels live in a shared persistent
+//! arena so states clone in O(|open|).
+//!
+//! Per item, placements follow Algorithm 3 refined by Appendix B:
+//! * **subsumption fast path** (B-b): when the gate subsumes or is
+//!   subsumed by an open kernel, it is added there and no other placement
+//!   is considered;
+//! * otherwise the gate may join any open kernel whose extensible set
+//!   covers it (line 11), or start a fresh kernel of either kind (line 13
+//!   + §VI-B's kind branching);
+//! * when the current gate *restricts* a previously unrestricted kernel
+//!   (Algorithm 4 line 9), that kernel may first be merged with any other
+//!   unrestricted kernel (B-c's deferred merging);
+//! * kernels whose extensible set empties are closed immediately and pay
+//!   their cost (the "remove from κ" of §VI-A);
+//! * when the state population reaches the threshold `T`, states are
+//!   ranked by post-processed cost and halved (B-f);
+//! * at the end, remaining open kernels are greedily packed — fusion
+//!   kernels toward the most cost-efficient size, shared-memory kernels
+//!   toward capacity (B-e) — and the cheapest state wins.
+
+use super::{
+    attach_single_qubit_gates, mask_to_qubits, toposort_kernels, DpItem, KGate, KernelCost,
+    Kernelization,
+};
+use crate::plan::{Kernel, KernelKind};
+use std::collections::HashMap;
+
+/// Sentinel for "extensible set = all qubits".
+const ALL: u64 = u64::MAX;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+enum Link {
+    /// One item appended to a chain.
+    Gate { item: u32, prev: u32 },
+    /// Two chains merged.
+    Join { a: u32, b: u32 },
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct OpenKernel {
+    kind: KernelKind,
+    qubits: u64,
+    extq: u64,
+    shm: f64,
+    chain: u32,
+}
+
+#[derive(Clone, Copy)]
+struct ClosedKernel {
+    kind: KernelKind,
+    qubits: u64,
+    chain: u32,
+    prev: u32,
+}
+
+#[derive(Clone)]
+struct State {
+    open: Vec<OpenKernel>,
+    closed_head: u32,
+    cost: f64,
+}
+
+struct Ctx<'a> {
+    items: &'a [DpItem],
+    cost: &'a KernelCost,
+    links: Vec<Link>,
+    closed: Vec<ClosedKernel>,
+    /// Most cost-efficient fusion packing size (cost/qubit minimizer).
+    fusion_pack_size: u32,
+}
+
+impl Ctx<'_> {
+    fn push_link(&mut self, item: u32, prev: u32) -> u32 {
+        self.links.push(Link::Gate { item, prev });
+        (self.links.len() - 1) as u32
+    }
+
+    fn join_chains(&mut self, a: u32, b: u32) -> u32 {
+        self.links.push(Link::Join { a, b });
+        (self.links.len() - 1) as u32
+    }
+
+    fn close_kernel(&mut self, st: &mut State, k: OpenKernel) {
+        st.cost += self.cost.of_kind(k.kind, k.qubits.count_ones(), k.shm);
+        self.closed.push(ClosedKernel {
+            kind: k.kind,
+            qubits: k.qubits,
+            chain: k.chain,
+            prev: st.closed_head,
+        });
+        st.closed_head = (self.closed.len() - 1) as u32;
+    }
+
+    fn chain_items(&self, mut head: u32, out: &mut Vec<u32>) {
+        let mut stack = vec![];
+        loop {
+            if head == NONE {
+                match stack.pop() {
+                    Some(h) => {
+                        head = h;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+            match self.links[head as usize] {
+                Link::Gate { item, prev } => {
+                    out.push(item);
+                    head = prev;
+                }
+                Link::Join { a, b } => {
+                    stack.push(a);
+                    head = b;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn ext_contains(extq: u64, m: u64) -> bool {
+    extq == ALL || m & !extq == 0
+}
+
+/// Greedy post-processing packing (Appendix B-e): first-fit merge of
+/// compatible open kernels. Returns the packed kernel summaries.
+fn pack_open(ctx: &Ctx, open: &[OpenKernel]) -> Vec<(KernelKind, u64, f64, Vec<u32>)> {
+    // (kind, qubits, shm_sum, chains)
+    let mut bins: Vec<(KernelKind, u64, u64, f64, Vec<u32>)> = Vec::new(); // +extq intersection
+    for k in open {
+        let cap = match k.kind {
+            KernelKind::Fusion => ctx.fusion_pack_size,
+            KernelKind::SharedMemory => ctx.cost.max_shm,
+        };
+        let mut placed = false;
+        for bin in &mut bins {
+            if bin.0 != k.kind {
+                continue;
+            }
+            let union = bin.1 | k.qubits;
+            if union.count_ones() > cap {
+                continue;
+            }
+            // Mutual extensibility: each side's qubits inside the other's
+            // extensible set.
+            if !ext_contains(bin.2, k.qubits) || !ext_contains(k.extq, bin.1) {
+                continue;
+            }
+            bin.1 = union;
+            bin.2 = if bin.2 == ALL && k.extq == ALL { ALL } else { ext_and(bin.2, k.extq) };
+            bin.3 += k.shm;
+            bin.4.push(k.chain);
+            placed = true;
+            break;
+        }
+        if !placed {
+            bins.push((k.kind, k.qubits, k.extq, k.shm, vec![k.chain]));
+        }
+    }
+    bins.into_iter().map(|(kind, q, _, s, chains)| (kind, q, s, chains)).collect()
+}
+
+#[inline]
+fn ext_and(a: u64, b: u64) -> u64 {
+    match (a == ALL, b == ALL) {
+        (true, true) => ALL,
+        (true, false) => b,
+        (false, true) => a,
+        (false, false) => a & b,
+    }
+}
+
+/// Post-processed cost of a state (used for pruning and final selection).
+fn finalized_cost(ctx: &Ctx, st: &State) -> f64 {
+    let packed = pack_open(ctx, &st.open);
+    st.cost
+        + packed
+            .iter()
+            .map(|(kind, q, s, _)| ctx.cost.of_kind(*kind, q.count_ones(), *s))
+            .sum::<f64>()
+}
+
+fn canon_key(st: &State) -> Vec<u64> {
+    let mut parts: Vec<[u64; 4]> = st
+        .open
+        .iter()
+        .map(|k| {
+            [
+                match k.kind {
+                    KernelKind::Fusion => 0u64,
+                    KernelKind::SharedMemory => 1u64,
+                },
+                k.qubits,
+                k.extq,
+                k.shm.to_bits(),
+            ]
+        })
+        .collect();
+    parts.sort_unstable();
+    parts.into_iter().flatten().collect()
+}
+
+/// Runs the DP. See module docs.
+pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelization {
+    if gates.is_empty() {
+        return Kernelization { kernels: Vec::new(), cost: 0.0 };
+    }
+    let items = attach_single_qubit_gates(gates);
+    let fusion_pack_size = (1..=cost.max_fusion)
+        .min_by(|&a, &b| {
+            (cost.fusion(a) / a as f64).partial_cmp(&(cost.fusion(b) / b as f64)).unwrap()
+        })
+        .unwrap();
+    let mut ctx = Ctx { items: &items, cost, links: Vec::new(), closed: Vec::new(), fusion_pack_size };
+
+    let mut states: HashMap<Vec<u64>, State> =
+        HashMap::from([(Vec::new(), State { open: Vec::new(), closed_head: NONE, cost: 0.0 })]);
+
+    for (i, item) in items.iter().enumerate() {
+        let m = item.mask;
+        let snapshot: Vec<State> = states.values().cloned().collect();
+        let mut next: HashMap<Vec<u64>, State> = HashMap::with_capacity(snapshot.len() * 2);
+        for st in &snapshot {
+            // ----- placement options -----
+            let subsume = st.open.iter().position(|k| {
+                (m & !k.qubits == 0 || k.qubits & !m == 0)
+                    && ext_contains(k.extq, m)
+                    && (k.qubits | m).count_ones() <= ctx.cost.capacity(k.kind)
+            });
+            let mut placements: Vec<Option<usize>> = Vec::new(); // Some(idx) = into kernel, None×2 = new
+            match subsume {
+                Some(idx) => placements.push(Some(idx)),
+                None => {
+                    for (idx, k) in st.open.iter().enumerate() {
+                        if ext_contains(k.extq, m)
+                            && (k.qubits | m).count_ones() <= ctx.cost.capacity(k.kind)
+                        {
+                            placements.push(Some(idx));
+                        }
+                    }
+                    placements.push(None);
+                }
+            }
+            for placement in placements {
+                let new_kinds: &[Option<KernelKind>] = match placement {
+                    Some(_) => &[None],
+                    None => &[Some(KernelKind::Fusion), Some(KernelKind::SharedMemory)],
+                };
+                for &new_kind in new_kinds {
+                    if let Some(kind) = new_kind {
+                        if m.count_ones() > ctx.cost.capacity(kind) {
+                            continue;
+                        }
+                    }
+                    // Build the base child: receiver updated, others pending.
+                    let mut base = st.clone();
+                    let receiver = match placement {
+                        Some(idx) => {
+                            let k = &mut base.open[idx];
+                            k.qubits |= m;
+                            k.shm += item.shm_ns;
+                            k.chain = ctx.push_link(i as u32, k.chain);
+                            idx
+                        }
+                        None => {
+                            let chain = ctx.push_link(i as u32, NONE);
+                            base.open.push(OpenKernel {
+                                kind: new_kind.unwrap(),
+                                qubits: m,
+                                extq: ALL,
+                                shm: item.shm_ns,
+                                chain,
+                            });
+                            base.open.len() - 1
+                        }
+                    };
+                    // Restriction events (Algorithm 4): unrestricted
+                    // kernels hit by m; restricted kernels just shrink.
+                    let mut events: Vec<usize> = Vec::new();
+                    for (idx, k) in base.open.iter().enumerate() {
+                        if idx == receiver {
+                            continue;
+                        }
+                        if k.extq == ALL && k.qubits & m != 0 {
+                            events.push(idx);
+                        }
+                    }
+                    // Merge branching per event: leave, or merge into any
+                    // still-unrestricted kernel of the same kind.
+                    // Enumerate combinations depth-first.
+                    struct Alt {
+                        state: State,
+                        remap: Vec<usize>, // current index per original position
+                    }
+                    let mut alts = vec![Alt {
+                        state: base.clone(),
+                        remap: (0..base.open.len()).collect(),
+                    }];
+                    for &ev in &events {
+                        let mut grown: Vec<Alt> = Vec::new();
+                        for alt in &alts {
+                            let ev_idx = alt.remap[ev];
+                            // Option 1: leave — restrict below.
+                            grown.push(Alt { state: alt.state.clone(), remap: alt.remap.clone() });
+                            // Option 2..: merge with another ALL-extq kernel.
+                            for tgt in 0..alt.state.open.len() {
+                                if tgt == ev_idx {
+                                    continue;
+                                }
+                                let a = alt.state.open[ev_idx];
+                                let b = alt.state.open[tgt];
+                                if b.extq != ALL || b.kind != a.kind {
+                                    continue;
+                                }
+                                let union = a.qubits | b.qubits;
+                                if union.count_ones() > ctx.cost.capacity(a.kind) {
+                                    continue;
+                                }
+                                let mut s2 = alt.state.clone();
+                                let joined = ctx.join_chains(a.chain, b.chain);
+                                s2.open[tgt] = OpenKernel {
+                                    kind: a.kind,
+                                    qubits: union,
+                                    extq: ALL,
+                                    shm: a.shm + b.shm,
+                                    chain: joined,
+                                };
+                                s2.open.remove(ev_idx);
+                                let mut remap2 = alt.remap.clone();
+                                for r in remap2.iter_mut() {
+                                    if *r == ev_idx {
+                                        *r = if tgt > ev_idx { tgt - 1 } else { tgt };
+                                    } else if *r != usize::MAX && *r > ev_idx {
+                                        *r -= 1;
+                                    }
+                                }
+                                grown.push(Alt { state: s2, remap: remap2 });
+                            }
+                        }
+                        alts = grown;
+                    }
+                    // Apply restrictions & closures to every alternative.
+                    for alt in alts {
+                        let mut child = alt.state;
+                        // The receiver (the kernel holding C[i]) is exempt
+                        // from restriction this round; merges tracked it
+                        // through `remap`.
+                        let mut recv_idx = alt.remap[receiver];
+                        let mut idx = 0;
+                        while idx < child.open.len() {
+                            if idx == recv_idx {
+                                idx += 1;
+                                continue;
+                            }
+                            let k = child.open[idx];
+                            let new_extq = if k.extq == ALL {
+                                if k.qubits & m != 0 {
+                                    k.qubits & !m
+                                } else {
+                                    ALL
+                                }
+                            } else {
+                                k.extq & !m
+                            };
+                            if new_extq == 0 {
+                                let closed = child.open.remove(idx);
+                                ctx.close_kernel(&mut child, closed);
+                                if recv_idx > idx {
+                                    recv_idx -= 1;
+                                }
+                                continue;
+                            }
+                            child.open[idx].extq = new_extq;
+                            idx += 1;
+                        }
+                        let key = canon_key(&child);
+                        match next.get_mut(&key) {
+                            Some(existing) if existing.cost <= child.cost => {}
+                            _ => {
+                                next.insert(key, child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Pruning (Appendix B-f).
+        if next.len() >= threshold {
+            let mut scored: Vec<(f64, Vec<u64>)> = next
+                .iter()
+                .map(|(key, st)| (finalized_cost(&ctx, st), key.clone()))
+                .collect();
+            scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let keep = (threshold / 2).max(1);
+            let keys: std::collections::HashSet<Vec<u64>> =
+                scored.into_iter().take(keep).map(|(_, k)| k).collect();
+            next.retain(|k, _| keys.contains(k));
+        }
+        states = next;
+    }
+
+    // Final selection + reconstruction.
+    let best = states
+        .values()
+        .min_by(|a, b| finalized_cost(&ctx, a).partial_cmp(&finalized_cost(&ctx, b)).unwrap())
+        .expect("at least one DP state must survive")
+        .clone();
+    let total = finalized_cost(&ctx, &best);
+
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut emit = |ctx: &Ctx, kind: KernelKind, qubits: u64, chains: &[u32]| {
+        let mut item_ids: Vec<u32> = Vec::new();
+        for &c in chains {
+            ctx.chain_items(c, &mut item_ids);
+        }
+        let mut gate_ids: Vec<usize> = item_ids
+            .iter()
+            .flat_map(|&it| ctx.items[it as usize].gates.iter().copied())
+            .collect();
+        gate_ids.sort_unstable();
+        kernels.push(Kernel { gates: gate_ids, kind, qubits: mask_to_qubits(qubits) });
+    };
+    let mut head = best.closed_head;
+    while head != NONE {
+        let ck = ctx.closed[head as usize];
+        emit(&ctx, ck.kind, ck.qubits, &[ck.chain]);
+        head = ck.prev;
+    }
+    for (kind, qubits, _shm, chains) in pack_open(&ctx, &best.open) {
+        emit(&ctx, kind, qubits, &chains);
+    }
+    let kernels = toposort_kernels(gates, kernels);
+    Kernelization { kernels, cost: total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernelize::{kernelize_greedy, kernelize_ordered, validate_cover};
+    use atlas_machine::CostModel;
+
+    fn kc() -> KernelCost {
+        KernelCost::from_machine(&CostModel::default())
+    }
+
+    fn circuit_kgates(fam: atlas_circuit::generators::Family, n: u32) -> Vec<KGate> {
+        let cm = CostModel::default();
+        fam.generate(n)
+            .gates()
+            .iter()
+            .map(|g| KGate { mask: g.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(g) })
+            .collect()
+    }
+
+    #[test]
+    fn dp_covers_and_orders_all_families() {
+        for fam in atlas_circuit::generators::Family::table1() {
+            let gates = circuit_kgates(fam, 8);
+            let out = run(&gates, &kc(), 500);
+            validate_cover(&gates, &out.kernels).unwrap_or_else(|e| panic!("{fam:?}: {e}"));
+            assert!(out.cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn theorem6_dp_never_worse_than_ordered() {
+        // Theorem 6: KERNELIZE ≤ ORDERED KERNELIZE on every circuit.
+        for fam in atlas_circuit::generators::Family::table1() {
+            for n in [6u32, 9, 12] {
+                let gates = circuit_kgates(fam, n);
+                let dp = run(&gates, &kc(), 500);
+                let ordered = kernelize_ordered(&gates, &kc());
+                assert!(
+                    dp.cost <= ordered.cost + 1e-9,
+                    "{fam:?} n={n}: DP {} > ordered {}",
+                    dp.cost,
+                    ordered.cost
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dp_beats_greedy_on_structured_circuits() {
+        // Fig. 10's qualitative claim: the DP finds strictly cheaper
+        // kernelizations than greedy 5-qubit packing on structured
+        // circuits like qft/ae/su2random.
+        use atlas_circuit::generators::Family;
+        for fam in [Family::Qft, Family::Ae, Family::Su2Random] {
+            let gates = circuit_kgates(fam, 12);
+            let dp = run(&gates, &kc(), 500);
+            let greedy = kernelize_greedy(&gates, &kc(), 5);
+            assert!(
+                dp.cost <= greedy.cost + 1e-12,
+                "{fam:?}: DP {} vs greedy {}",
+                dp.cost,
+                greedy.cost
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_degrades_gracefully() {
+        // Smaller T can only worsen (or keep) the cost, never break
+        // validity.
+        let gates = circuit_kgates(atlas_circuit::generators::Family::Qft, 10);
+        let full = run(&gates, &kc(), 2000);
+        let tiny = run(&gates, &kc(), 4);
+        validate_cover(&gates, &tiny.kernels).unwrap();
+        assert!(tiny.cost + 1e-12 >= full.cost);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out = run(&[], &kc(), 500);
+        assert!(out.kernels.is_empty());
+        assert_eq!(out.cost, 0.0);
+    }
+
+    #[test]
+    fn single_gate() {
+        let gates = vec![KGate { mask: 0b11, shm_ns: 0.006 }];
+        let out = run(&gates, &kc(), 500);
+        assert_eq!(out.kernels.len(), 1);
+        assert_eq!(out.kernels[0].gates, vec![0]);
+    }
+}
+
+#[cfg(test)]
+mod regression_tests {
+    use super::*;
+    use crate::kernelize::kernelize;
+    use atlas_machine::CostModel;
+
+    /// Proptest-discovered counterexample: the B-d attachment heuristic
+    /// glues the lone Y(5) to the RZZ host, forcing qubit 5 into the first
+    /// kernel and excluding the optimal contiguous split
+    /// [cx,cx,rzz | y,swap,swap] = 2 × fusion(4). The pure DP lands at
+    /// fusion(5) + fusion(3); `kernelize`'s Algorithm-5 certificate must
+    /// recover the optimum.
+    #[test]
+    fn attachment_counterexample_is_caught_by_certificate() {
+        let shm = 0.006;
+        let gates = vec![
+            KGate { mask: (1 << 4) | (1 << 6), shm_ns: shm }, // cx(4,6)
+            KGate { mask: (1 << 3) | (1 << 6), shm_ns: shm }, // cx(3,6)
+            KGate { mask: (1 << 6) | 1, shm_ns: 0.002 },      // rzz(6,0)
+            KGate { mask: 1 << 5, shm_ns: 0.004 },            // y(5)
+            KGate { mask: 1 | (1 << 3), shm_ns: shm },        // swap(0,3)
+            KGate { mask: (1 << 3) | (1 << 2), shm_ns: shm }, // swap(3,2)
+        ];
+        let kc = KernelCost::from_machine(&CostModel::default());
+        let out = kernelize(&gates, &kc, 500);
+        let ordered = crate::kernelize::kernelize_ordered(&gates, &kc);
+        assert!(
+            out.cost <= ordered.cost + 1e-12,
+            "Theorem 6: kernelize {} > ordered {}",
+            out.cost,
+            ordered.cost
+        );
+        // The optimum here is two 4-qubit fusion kernels.
+        assert!((out.cost - 2.0 * kc.fusion(4)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # atlas-core
+//!
+//! The paper's contribution: hierarchical partitioning of quantum circuits
+//! for distributed GPU simulation.
+//!
+//! * [`staging`] — the circuit **staging** problem (§IV): split the circuit
+//!   into stages, each with a local/regional/global qubit partition such
+//!   that every gate's non-insular qubits are local, minimizing stage count
+//!   and then communication cost (Eq. 2) via the binary ILP of Eqs. 3–11.
+//! * [`kernelize`] — the circuit **kernelization** problem (§V): partition
+//!   each stage's gates into fusion / shared-memory kernels with the
+//!   dynamic program of Algorithms 3–4 under Constraint 1 (weak convexity
+//!   + monotonicity), with the Appendix-B optimizations.
+//! * [`exec`] — the **EXECUTE** algorithm (Alg. 1): shard the state vector
+//!   across the machine, run each stage's kernels per shard with
+//!   insular-qubit specialization, and perform the all-to-all qubit
+//!   remapping between stages.
+//! * [`simulate`] — the **SIMULATE** driver tying it all together.
+
+pub mod config;
+pub mod exec;
+pub mod kernelize;
+pub mod plan;
+pub mod simulate;
+pub mod staging;
+
+pub use config::AtlasConfig;
+pub use plan::{Kernel, KernelKind, QubitPartition, Stage, StagedKernels};
+pub use simulate::{simulate, SimulationOutput};

@@ -1,0 +1,116 @@
+//! SIMULATE (Algorithm 1, lines 18–20): the end-to-end driver tying
+//! PARTITION and EXECUTE together on a machine.
+
+use crate::config::AtlasConfig;
+use crate::exec::{self, FullPlan};
+use atlas_circuit::Circuit;
+use atlas_machine::{CostModel, Machine, MachineReport, MachineSpec};
+use atlas_statevec::StateVector;
+
+/// Everything a simulation run produces.
+#[derive(Debug)]
+pub struct SimulationOutput {
+    /// The execution plan (stages, kernels, costs).
+    pub plan: FullPlan,
+    /// Machine clock and traffic report.
+    pub report: MachineReport,
+    /// The final state (functional runs with
+    /// [`AtlasConfig::final_unpermute`] set; `None` in dry-run mode).
+    pub state: Option<StateVector>,
+}
+
+/// Simulates `circuit` on the given machine. `dry = true` runs the clock
+/// model only (paper-scale experiments); `dry = false` computes amplitudes
+/// and, when `cfg.final_unpermute` is set, returns the final state in the
+/// identity qubit layout.
+pub fn simulate(
+    circuit: &Circuit,
+    spec: MachineSpec,
+    cost: CostModel,
+    cfg: &AtlasConfig,
+    dry: bool,
+) -> Result<SimulationOutput, String> {
+    let n = circuit.num_qubits();
+    let l = spec.local_qubits;
+    let g = spec.global_qubits();
+    if n < l + g {
+        return Err(format!("circuit of {n} qubits too small for L={l}, G={g}"));
+    }
+    let plan = exec::plan(circuit, l, g, &cost, cfg)?;
+    let mut machine = Machine::new(spec, cost, n, dry);
+    exec::execute(&mut machine, circuit, &plan, cfg);
+    let state = (!dry && cfg.final_unpermute).then(|| machine.gather_state());
+    let report = machine.report();
+    Ok(SimulationOutput { plan, report, state })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_circuit::generators::Family;
+    use atlas_statevec::simulate_reference;
+
+    fn check_family(fam: Family, n: u32, spec: MachineSpec) {
+        let circuit = fam.generate(n);
+        let cfg = AtlasConfig::for_validation();
+        let out = simulate(&circuit, spec, CostModel::default(), &cfg, false)
+            .unwrap_or_else(|e| panic!("{fam:?} n={n}: {e}"));
+        let got = out.state.expect("functional run returns state");
+        let want = simulate_reference(&circuit);
+        let diff = got.max_abs_diff(&want);
+        assert!(
+            diff < 1e-9,
+            "{fam:?} n={n} L={} G={}: distributed result diverged by {diff}",
+            spec.local_qubits,
+            spec.global_qubits()
+        );
+    }
+
+    #[test]
+    fn all_families_match_reference_on_multi_gpu() {
+        // 2 nodes × 2 GPUs, L = n-3: every family must agree with the
+        // reference amplitudes through staging, kernelization, insular
+        // specialization and the all-to-alls.
+        for fam in Family::table1() {
+            let n = 9;
+            let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: n - 3 };
+            check_family(fam, n, spec);
+        }
+    }
+
+    #[test]
+    fn qft_matches_on_many_small_shards() {
+        // Aggressive split: L = 5 on an 10-qubit circuit → 32 shards,
+        // multiple stages guaranteed.
+        let spec = MachineSpec { nodes: 4, gpus_per_node: 2, local_qubits: 5 };
+        check_family(Family::Qft, 10, spec);
+        check_family(Family::Su2Random, 10, spec);
+        check_family(Family::WState, 10, spec);
+    }
+
+    #[test]
+    fn offloaded_execution_matches() {
+        // More shards than GPUs: DRAM offload path.
+        let spec = MachineSpec { nodes: 1, gpus_per_node: 2, local_qubits: 5 };
+        check_family(Family::Ae, 10, spec);
+        check_family(Family::Ghz, 10, spec);
+    }
+
+    #[test]
+    fn single_gpu_no_staging() {
+        let spec = MachineSpec::single_gpu(8);
+        check_family(Family::Vqc, 8, spec);
+    }
+
+    #[test]
+    fn dry_run_produces_report_without_state() {
+        let circuit = Family::Qft.generate(30);
+        let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 26 };
+        let out =
+            simulate(&circuit, spec, CostModel::default(), &AtlasConfig::default(), true)
+                .unwrap();
+        assert!(out.state.is_none());
+        assert!(out.report.total_secs > 0.0);
+        assert!(out.report.kernels > 0);
+    }
+}

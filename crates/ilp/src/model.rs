@@ -1,0 +1,210 @@
+//! ILP model construction: binary variables, linear constraints, linear
+//! objective.
+
+/// A binary decision variable handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+/// Comparison operator of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A linear expression `Σ aᵢ·xᵢ` with integer coefficients.
+#[derive(Clone, Debug, Default)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms; duplicates are merged by
+    /// [`LinExpr::normalize`].
+    pub terms: Vec<(VarId, i64)>,
+}
+
+impl LinExpr {
+    /// Empty expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `coeff · var`.
+    pub fn add(&mut self, var: VarId, coeff: i64) -> &mut Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Builds from a term list.
+    pub fn from_terms(terms: impl IntoIterator<Item = (VarId, i64)>) -> Self {
+        LinExpr { terms: terms.into_iter().collect() }
+    }
+
+    /// Merges duplicate variables and drops zero coefficients.
+    pub fn normalize(&mut self) {
+        self.terms.sort_unstable_by_key(|(v, _)| *v);
+        let mut out: Vec<(VarId, i64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| *c != 0);
+        self.terms = out;
+    }
+}
+
+/// A linear constraint.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: i64,
+}
+
+/// A binary ILP: minimize `Σ cᵢxᵢ` subject to linear constraints over
+/// `xᵢ ∈ {0, 1}`.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    num_vars: u32,
+    names: Vec<String>,
+    /// Objective coefficient per variable (dense; zero default).
+    pub objective: Vec<i64>,
+    /// All constraints.
+    pub constraints: Vec<Constraint>,
+    /// Branching priority per variable — higher branches earlier. Variables
+    /// left at the default (0) are preferentially *derived by propagation*
+    /// rather than branched on.
+    pub priority: Vec<i32>,
+}
+
+impl Model {
+    /// Empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a variable with a debug name, returning its handle.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        let id = VarId(self.num_vars);
+        self.num_vars += 1;
+        self.names.push(name.into());
+        self.objective.push(0);
+        self.priority.push(0);
+        id
+    }
+
+    /// Adds `count` variables named `prefix_i`.
+    pub fn add_vars(&mut self, prefix: &str, count: usize) -> Vec<VarId> {
+        (0..count).map(|i| self.add_var(format!("{prefix}_{i}"))).collect()
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Debug name of a variable.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.0 as usize]
+    }
+
+    /// Sets the objective coefficient of `v`.
+    pub fn set_objective(&mut self, v: VarId, coeff: i64) {
+        self.objective[v.0 as usize] = coeff;
+    }
+
+    /// Sets the branching priority of `v` (higher = earlier).
+    pub fn set_priority(&mut self, v: VarId, prio: i32) {
+        self.priority[v.0 as usize] = prio;
+    }
+
+    /// Adds constraint `expr op rhs`.
+    pub fn add_constraint(&mut self, mut expr: LinExpr, op: CmpOp, rhs: i64) {
+        expr.normalize();
+        self.constraints.push(Constraint { expr, op, rhs });
+    }
+
+    /// Convenience: `Σ terms ≤ rhs`.
+    pub fn le(&mut self, terms: impl IntoIterator<Item = (VarId, i64)>, rhs: i64) {
+        self.add_constraint(LinExpr::from_terms(terms), CmpOp::Le, rhs);
+    }
+
+    /// Convenience: `Σ terms ≥ rhs`.
+    pub fn ge(&mut self, terms: impl IntoIterator<Item = (VarId, i64)>, rhs: i64) {
+        self.add_constraint(LinExpr::from_terms(terms), CmpOp::Ge, rhs);
+    }
+
+    /// Convenience: `Σ terms = rhs`.
+    pub fn eq(&mut self, terms: impl IntoIterator<Item = (VarId, i64)>, rhs: i64) {
+        self.add_constraint(LinExpr::from_terms(terms), CmpOp::Eq, rhs);
+    }
+
+    /// Fixes `v` to `value` (unit constraint).
+    pub fn fix(&mut self, v: VarId, value: bool) {
+        self.eq([(v, 1)], i64::from(value));
+    }
+
+    /// Evaluates the objective under a full assignment.
+    pub fn objective_value(&self, assignment: &[bool]) -> i64 {
+        self.objective
+            .iter()
+            .zip(assignment)
+            .map(|(c, &x)| if x { *c } else { 0 })
+            .sum()
+    }
+
+    /// Checks a full assignment against every constraint; returns the index
+    /// of the first violated constraint.
+    pub fn check(&self, assignment: &[bool]) -> Result<(), usize> {
+        for (i, c) in self.constraints.iter().enumerate() {
+            let lhs: i64 = c
+                .expr
+                .terms
+                .iter()
+                .map(|&(v, a)| if assignment[v.0 as usize] { a } else { 0 })
+                .sum();
+            let ok = match c.op {
+                CmpOp::Le => lhs <= c.rhs,
+                CmpOp::Ge => lhs >= c.rhs,
+                CmpOp::Eq => lhs == c.rhs,
+            };
+            if !ok {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_merges_and_drops_zeros() {
+        let mut e = LinExpr::new();
+        e.add(VarId(1), 2).add(VarId(0), 5).add(VarId(1), -2).add(VarId(2), 3);
+        e.normalize();
+        assert_eq!(e.terms, vec![(VarId(0), 5), (VarId(2), 3)]);
+    }
+
+    #[test]
+    fn model_bookkeeping() {
+        let mut m = Model::new();
+        let x = m.add_var("x");
+        let y = m.add_var("y");
+        m.set_objective(x, 3);
+        m.le([(x, 1), (y, 1)], 1);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.name(y), "y");
+        assert_eq!(m.objective_value(&[true, false]), 3);
+        assert!(m.check(&[true, false]).is_ok());
+        assert_eq!(m.check(&[true, true]), Err(0));
+    }
+}

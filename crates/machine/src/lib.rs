@@ -1,0 +1,29 @@
+//! # atlas-machine
+//!
+//! A simulated multi-node, multi-GPU cluster — the execution substrate that
+//! stands in for the paper's Perlmutter testbed (64 nodes × 4 A100 GPUs,
+//! NVLink intra-node, Slingshot inter-node, NCCL collectives).
+//!
+//! Two execution modes share one code path:
+//!
+//! * **functional** — shards of the state vector are real `Vec<Complex64>`
+//!   buffers; kernels genuinely transform amplitudes (validated against the
+//!   reference simulator), and the clock model charges simulated time;
+//! * **dry-run** — no amplitudes are allocated; only the clock model runs.
+//!   This is how paper-scale experiments (28–36 qubits on up to 256
+//!   simulated GPUs) are reproduced on a host without 0.5 PB of RAM.
+//!
+//! Time accounting is bulk-synchronous: kernel costs accumulate per device
+//! and fold into the ledger at stage barriers; stage-transition all-to-alls
+//! are charged from an exact per-(source, destination)-shard traffic matrix
+//! (see [`traffic`]).
+
+pub mod cost;
+pub mod machine;
+pub mod topology;
+pub mod traffic;
+
+pub use cost::CostModel;
+pub use machine::{Machine, MachineReport, StageTiming};
+pub use topology::MachineSpec;
+pub use traffic::{traffic_matrix, TrafficEntry};

@@ -1,0 +1,520 @@
+//! The simulated cluster: shard storage, kernel execution, collective
+//! communication, and the bulk-synchronous clock.
+
+use crate::cost::{CostModel, AMP_BYTES};
+use crate::topology::MachineSpec;
+use crate::traffic::traffic_matrix;
+use atlas_circuit::Gate;
+use atlas_qmath::{Complex64, Matrix, QubitPermutation};
+use atlas_statevec::{apply_batched, apply_matrix, StateVector};
+
+/// Simulated time spent in one bulk-synchronous step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageTiming {
+    /// Max-over-devices kernel time (s).
+    pub compute: f64,
+    /// All-to-all communication time (s).
+    pub comm: f64,
+    /// DRAM-offload swap time (s), zero when every shard is GPU-resident.
+    pub swap: f64,
+}
+
+/// Aggregate clock and traffic report.
+#[derive(Clone, Debug, Default)]
+pub struct MachineReport {
+    /// End-to-end simulated seconds.
+    pub total_secs: f64,
+    /// Kernel-execution seconds.
+    pub compute_secs: f64,
+    /// Communication seconds (intra- + inter-node collectives).
+    pub comm_secs: f64,
+    /// Host↔device offload seconds.
+    pub swap_secs: f64,
+    /// Per bulk-synchronous step breakdown.
+    pub per_step: Vec<StageTiming>,
+    /// Bytes moved between GPUs within a node.
+    pub bytes_intra: u64,
+    /// Bytes moved between nodes.
+    pub bytes_inter: u64,
+    /// Kernels launched.
+    pub kernels: u64,
+}
+
+impl MachineReport {
+    /// Fraction of total time spent communicating (the paper's Fig. 6).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_secs == 0.0 {
+            0.0
+        } else {
+            self.comm_secs / self.total_secs
+        }
+    }
+}
+
+/// The simulated multi-node multi-GPU machine.
+///
+/// See the crate docs for the functional vs dry-run modes.
+pub struct Machine {
+    spec: MachineSpec,
+    cost: CostModel,
+    n: u32,
+    dry: bool,
+    /// Shard buffers (empty vectors in dry-run mode).
+    shards: Vec<Vec<Complex64>>,
+    /// Per-GPU compute seconds accumulated since the last barrier.
+    pending: Vec<f64>,
+    steps: Vec<StageTiming>,
+    bytes_intra: u64,
+    bytes_inter: u64,
+    kernels: u64,
+    /// Whether offload swaps overlap with compute (Atlas overlaps via
+    /// Legion; naive baselines set this to `false`).
+    pub overlap_io: bool,
+}
+
+impl Machine {
+    /// Creates a machine and initializes the `n`-qubit `|0…0⟩` state.
+    /// `dry = true` skips amplitude allocation (paper-scale modeling).
+    pub fn new(spec: MachineSpec, cost: CostModel, n: u32, dry: bool) -> Self {
+        let spec = spec.checked();
+        let num_shards = spec.num_shards(n);
+        let shard_len = 1usize << spec.local_qubits;
+        let shards = if dry {
+            vec![Vec::new(); num_shards]
+        } else {
+            assert!(
+                n <= 30,
+                "functional mode with n={n} would allocate 2^{n} amplitudes; use dry-run"
+            );
+            let mut v = vec![vec![Complex64::ZERO; shard_len]; num_shards];
+            v[0][0] = Complex64::ONE;
+            v
+        };
+        let pending = vec![0.0; spec.num_gpus()];
+        Machine {
+            spec,
+            cost,
+            n,
+            dry,
+            shards,
+            pending,
+            steps: Vec::new(),
+            bytes_intra: 0,
+            bytes_inter: 0,
+            kernels: 0,
+            overlap_io: true,
+        }
+    }
+
+    /// Creates a functional machine seeded with an arbitrary state.
+    pub fn with_state(spec: MachineSpec, cost: CostModel, state: &StateVector) -> Self {
+        let mut m = Machine::new(spec, cost, state.num_qubits(), false);
+        let shard_len = m.shard_len();
+        for (i, &a) in state.amplitudes().iter().enumerate() {
+            m.shards[i >> m.spec.local_qubits][i & (shard_len - 1)] = a;
+        }
+        m
+    }
+
+    /// The machine spec.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Circuit width this machine was initialized for.
+    pub fn num_qubits(&self) -> u32 {
+        self.n
+    }
+
+    /// `true` in dry-run (no amplitudes) mode.
+    pub fn is_dry(&self) -> bool {
+        self.dry
+    }
+
+    /// Amplitudes per shard.
+    pub fn shard_len(&self) -> usize {
+        1usize << self.spec.local_qubits
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to a shard's amplitudes (functional mode).
+    pub fn shard(&self, s: usize) -> &[Complex64] {
+        &self.shards[s]
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel execution
+    // ------------------------------------------------------------------
+
+    /// Runs a fusion kernel: a dense `2^k × 2^k` unitary over local qubit
+    /// positions `qubits` (all `< L`) on shard `s`.
+    pub fn run_fusion_kernel(&mut self, s: usize, qubits: &[u32], matrix: &Matrix) {
+        debug_assert!(qubits.iter().all(|&q| q < self.spec.local_qubits));
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.fusion_kernel_secs(qubits.len() as u32, self.shard_len());
+        self.kernels += 1;
+        if !self.dry {
+            apply_matrix(&mut self.shards[s], qubits, matrix);
+        }
+    }
+
+    /// Runs a shared-memory kernel: `gates` (with qubit indices already in
+    /// local physical positions `< L`) batched over `active` qubits.
+    pub fn run_shm_kernel(&mut self, s: usize, active: &[u32], gates: &[Gate]) {
+        debug_assert!(active.iter().all(|&q| q < self.spec.local_qubits));
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.shm_kernel_secs(gates.iter(), self.shard_len());
+        self.kernels += 1;
+        if !self.dry {
+            apply_batched(&mut self.shards[s], active, gates);
+        }
+    }
+
+    /// Charges a fusion kernel over `k` qubits without executing anything —
+    /// the dry-run twin of [`Machine::run_fusion_kernel`], sparing matrix
+    /// construction at paper scale.
+    pub fn run_fusion_kernel_dry(&mut self, s: usize, k: u32) {
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.fusion_kernel_secs(k, self.shard_len());
+        self.kernels += 1;
+    }
+
+    /// Runs a shared-memory kernel from pre-specialized parts: each part is
+    /// a (local qubit positions, reduced unitary) pair, applied in order.
+    /// `per_amp_ns` is the kernel's gate-cost sum from the planner (the
+    /// parts' shapes may differ per shard after insular specialization, but
+    /// the charged cost is the plan-level one, matching §VI-B).
+    pub fn run_shm_kernel_parts(
+        &mut self,
+        s: usize,
+        active: &[u32],
+        parts: &[(Vec<u32>, Matrix)],
+        per_amp_ns: f64,
+    ) {
+        debug_assert!(active.iter().all(|&q| q < self.spec.local_qubits));
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.kernel_launch_us * 1e-6
+            + self.shard_len() as f64 * (self.cost.shm_alpha_ns + per_amp_ns) * 1e-9;
+        self.kernels += 1;
+        if !self.dry {
+            for (qs, m) in parts {
+                apply_matrix(&mut self.shards[s], qs, m);
+            }
+        }
+    }
+
+    /// Multiplies a whole shard by a scalar (insular diagonal factor for
+    /// this shard's fixed regional/global bits). Free if the factor is 1.
+    pub fn scale_shard(&mut self, s: usize, factor: Complex64) {
+        if factor.approx_eq(Complex64::ONE, 0.0) {
+            return;
+        }
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.scale_pass_secs(self.shard_len());
+        if !self.dry {
+            for a in &mut self.shards[s] {
+                *a *= factor;
+            }
+        }
+    }
+
+    /// Charges raw compute seconds to the GPU owning shard `s` (baseline
+    /// simulators with their own kernel models).
+    pub fn charge_shard_compute(&mut self, s: usize, secs: f64) {
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += secs;
+        self.kernels += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers and communication
+    // ------------------------------------------------------------------
+
+    /// Ends a bulk-synchronous compute step: stage time is the max over
+    /// devices, plus DRAM-offload swap charges when shards outnumber GPUs.
+    pub fn stage_barrier(&mut self) {
+        let compute = self.pending.iter().copied().fold(0.0, f64::max);
+        let mut swap = 0.0;
+        if self.spec.offloading(self.n) {
+            // Every shard crosses PCIe twice per stage (in + out),
+            // serialized per owning GPU.
+            let mut per_gpu = vec![0usize; self.spec.num_gpus()];
+            for s in 0..self.num_shards() {
+                per_gpu[self.spec.gpu_of_shard(self.n, s)] += 1;
+            }
+            let max_shards = per_gpu.into_iter().max().unwrap_or(0) as f64;
+            swap = max_shards * 2.0 * self.cost.pcie_transfer_secs(self.shard_len());
+        }
+        let step = if self.overlap_io {
+            StageTiming { compute: compute.max(swap), comm: 0.0, swap: if swap > compute { swap - compute } else { 0.0 } }
+        } else {
+            StageTiming { compute, comm: 0.0, swap }
+        };
+        self.steps.push(step);
+        self.pending.iter_mut().for_each(|p| *p = 0.0);
+    }
+
+    /// Executes a stage transition: relayouts the state as
+    /// `new_index = perm(old_index) ^ flip`, moving amplitudes between
+    /// devices and charging the interconnect model.
+    pub fn permute_state(&mut self, perm: &QubitPermutation, flip: u64) {
+        assert_eq!(perm.len() as u32, self.n);
+        let l = self.spec.local_qubits;
+        let entries = traffic_matrix(perm, flip, self.n, l);
+        let shard_bytes_per_amp = AMP_BYTES;
+
+        // Charge: per-GPU outgoing intra-node bytes, per-node outgoing
+        // inter-node bytes; overlapped collectives → take the max path.
+        let mut intra_out = vec![0u64; self.spec.num_gpus()];
+        let mut inter_out = vec![0u64; self.spec.nodes];
+        let mut moved_any = false;
+        for e in &entries {
+            if e.src == e.dst {
+                continue;
+            }
+            moved_any = true;
+            let bytes = (e.amps as f64 * shard_bytes_per_amp) as u64;
+            let src_node = self.spec.node_of_shard(self.n, e.src);
+            let dst_node = self.spec.node_of_shard(self.n, e.dst);
+            if src_node == dst_node {
+                let src_gpu = self.spec.gpu_of_shard(self.n, e.src);
+                let dst_gpu = self.spec.gpu_of_shard(self.n, e.dst);
+                if src_gpu != dst_gpu {
+                    intra_out[src_gpu] += bytes;
+                    self.bytes_intra += bytes;
+                }
+                // Same GPU (offloaded siblings): host-memory shuffle,
+                // folded into the repack pass below.
+            } else {
+                inter_out[src_node] += bytes;
+                self.bytes_inter += bytes;
+            }
+        }
+        let t_intra = intra_out.iter().map(|&b| b as f64 / self.cost.intra_node_bw).fold(0.0, f64::max);
+        let t_inter = inter_out.iter().map(|&b| b as f64 / self.cost.inter_node_bw).fold(0.0, f64::max);
+        // Local repack pass (gather/scatter through device memory) whenever
+        // the permutation moves anything, including purely-local bits.
+        let local_change = !perm.is_identity() || flip & ((1 << l) - 1) != 0;
+        let t_local = if local_change {
+            2.0 * self.shard_len() as f64 * self.cost.mem_pass_ns * 1e-9
+        } else {
+            0.0
+        };
+        let comm = if moved_any {
+            t_intra.max(t_inter) + self.cost.comm_latency_us * 1e-6 + t_local
+        } else {
+            t_local
+        };
+        self.steps.push(StageTiming { compute: 0.0, comm, swap: 0.0 });
+
+        // Functional data movement.
+        if !self.dry && local_change || !self.dry && moved_any {
+            let shard_len = self.shard_len();
+            let mut new_shards = vec![vec![Complex64::ZERO; shard_len]; self.shards.len()];
+            for (s, shard) in self.shards.iter().enumerate() {
+                let base = (s as u64) << l;
+                for (i, &a) in shard.iter().enumerate() {
+                    let old = base | i as u64;
+                    let new = perm.apply_index(old) ^ flip;
+                    new_shards[(new >> l) as usize][(new & (shard_len as u64 - 1)) as usize] = a;
+                }
+            }
+            self.shards = new_shards;
+        }
+    }
+
+    /// Charges communication without data movement (baseline simulators
+    /// that model other exchange schemes).
+    pub fn charge_comm(&mut self, secs: f64, bytes_intra: u64, bytes_inter: u64) {
+        self.steps.push(StageTiming { compute: 0.0, comm: secs, swap: 0.0 });
+        self.bytes_intra += bytes_intra;
+        self.bytes_inter += bytes_inter;
+    }
+
+    // ------------------------------------------------------------------
+    // State access and reporting
+    // ------------------------------------------------------------------
+
+    /// Collects the distributed state into a single state vector
+    /// (functional mode only).
+    pub fn gather_state(&self) -> StateVector {
+        assert!(!self.dry, "gather_state is unavailable in dry-run mode");
+        let l = self.spec.local_qubits;
+        let mut amps = vec![Complex64::ZERO; 1usize << self.n];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let base = s << l;
+            amps[base..base + shard.len()].copy_from_slice(shard);
+        }
+        StateVector::from_amplitudes(amps)
+    }
+
+    /// Finalizes the clock and returns the report. Any pending compute is
+    /// folded with a final barrier.
+    pub fn report(&mut self) -> MachineReport {
+        if self.pending.iter().any(|&p| p > 0.0) {
+            self.stage_barrier();
+        }
+        let mut r = MachineReport {
+            per_step: self.steps.clone(),
+            bytes_intra: self.bytes_intra,
+            bytes_inter: self.bytes_inter,
+            kernels: self.kernels,
+            ..Default::default()
+        };
+        for s in &self.steps {
+            r.compute_secs += s.compute;
+            r.comm_secs += s.comm;
+            r.swap_secs += s.swap;
+        }
+        r.total_secs = r.compute_secs + r.comm_secs + r.swap_secs;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_circuit::{Circuit, GateKind};
+    use atlas_statevec::simulate_reference;
+
+    fn small_spec() -> MachineSpec {
+        MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 3 }
+    }
+
+    #[test]
+    fn distributed_kernels_match_reference() {
+        // 5 qubits, L=3 → 4 shards on 4 GPUs. Apply local gates per shard
+        // and compare against the reference simulator.
+        let mut circuit = Circuit::new(5);
+        circuit.h(0).cx(0, 1).t(2).cp(0.7, 1, 2);
+        let mut m = Machine::new(small_spec(), CostModel::default(), 5, false);
+        for s in 0..m.num_shards() {
+            for g in circuit.gates() {
+                // All gates are local (< L=3) here.
+                m.run_fusion_kernel(s, g.qubits.as_slice(), &g.matrix());
+            }
+        }
+        m.stage_barrier();
+        let got = m.gather_state();
+        let want = simulate_reference(&circuit);
+        assert!(
+            got.approx_eq(&want, 1e-10),
+            "distributed diverged: {}",
+            got.max_abs_diff(&want)
+        );
+    }
+
+    #[test]
+    fn permute_state_moves_amplitudes_correctly() {
+        // Prepare a recognizable state, permute qubits, compare to direct
+        // index remapping.
+        let mut prep = Circuit::new(5);
+        prep.h(0).h(3).cx(3, 4).t(1);
+        let reference = simulate_reference(&prep);
+        let mut m = Machine::with_state(small_spec(), CostModel::default(), &reference);
+        // Swap qubit 1 (local) with qubit 4 (global).
+        let mut map: Vec<u32> = (0..5).collect();
+        map.swap(1, 4);
+        let perm = atlas_qmath::QubitPermutation::from_map(map);
+        m.permute_state(&perm, 0);
+        let got = m.gather_state();
+        for old in 0..32u64 {
+            let new = perm.apply_index(old);
+            assert!(
+                got.amplitudes()[new as usize]
+                    .approx_eq(reference.amplitudes()[old as usize], 1e-12),
+                "index {old} → {new} mismatch"
+            );
+        }
+        // Inter-node traffic must have been charged (bit 4 is the node bit).
+        let r = m.report();
+        assert!(r.bytes_inter > 0);
+        assert!(r.comm_secs > 0.0);
+    }
+
+    #[test]
+    fn identity_permutation_charges_nothing() {
+        let mut m = Machine::new(small_spec(), CostModel::default(), 5, true);
+        m.permute_state(&atlas_qmath::QubitPermutation::identity(5), 0);
+        let r = m.report();
+        assert_eq!(r.bytes_inter, 0);
+        assert_eq!(r.bytes_intra, 0);
+        assert_eq!(r.comm_secs, 0.0);
+    }
+
+    #[test]
+    fn flip_only_relabels_and_moves() {
+        // X on a global qubit = flip of a shard bit: amplitudes relocate.
+        let mut prep = Circuit::new(5);
+        prep.h(2).cx(2, 4);
+        let reference = simulate_reference(&prep);
+        let mut m = Machine::with_state(small_spec(), CostModel::default(), &reference);
+        m.permute_state(&atlas_qmath::QubitPermutation::identity(5), 1 << 4);
+        let got = m.gather_state();
+        for old in 0..32u64 {
+            assert!(got.amplitudes()[(old ^ 16) as usize]
+                .approx_eq(reference.amplitudes()[old as usize], 1e-12));
+        }
+    }
+
+    #[test]
+    fn dry_run_charges_time_without_memory() {
+        let spec = MachineSpec::perlmutter(4); // 16 GPUs
+        let mut m = Machine::new(spec, CostModel::default(), 32, true);
+        assert!(m.is_dry());
+        for s in 0..m.num_shards() {
+            m.run_fusion_kernel(s, &[0, 1, 2, 3, 4], &Matrix::identity(32));
+        }
+        m.stage_barrier();
+        let r = m.report();
+        // 16 shards on 16 GPUs, one kernel each → one kernel of wall time.
+        let expect = CostModel::default().fusion_kernel_secs(5, 1 << 28);
+        assert!((r.compute_secs - expect).abs() < 1e-9);
+        assert_eq!(r.kernels, 16);
+    }
+
+    #[test]
+    fn offload_swap_charged_at_barrier() {
+        // 1 GPU, L=3, n=5 → 4 shards through one GPU: offloading.
+        let spec = MachineSpec::single_gpu(3);
+        let mut m = Machine::new(spec, CostModel::default(), 5, true);
+        m.overlap_io = false;
+        for s in 0..m.num_shards() {
+            m.run_fusion_kernel(s, &[0, 1], &Matrix::identity(4));
+        }
+        m.stage_barrier();
+        let r = m.report();
+        assert!(r.swap_secs > 0.0, "offload must charge swap time");
+        let expect_swap = 4.0 * 2.0 * CostModel::default().pcie_transfer_secs(8);
+        assert!((r.swap_secs - expect_swap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shm_kernel_functional_and_charged() {
+        let mut prep = Circuit::new(5);
+        prep.h(0).h(1).h(2);
+        let reference = simulate_reference(&prep);
+        let mut m = Machine::with_state(small_spec(), CostModel::default(), &reference);
+        let gates =
+            vec![Gate::new(GateKind::CX, &[0, 1]), Gate::new(GateKind::T, &[2])];
+        for s in 0..m.num_shards() {
+            m.run_shm_kernel(s, &[0, 1, 2], &gates);
+        }
+        m.stage_barrier();
+        let mut want_c = Circuit::new(5);
+        want_c.h(0).h(1).h(2).cx(0, 1).t(2);
+        let want = simulate_reference(&want_c);
+        assert!(m.gather_state().approx_eq(&want, 1e-10));
+        let r = m.report();
+        assert!(r.compute_secs > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cluster shape: nodes, GPUs per node, per-GPU shard capacity.
+
+/// Static description of the simulated cluster.
+///
+/// With a circuit of `n` qubits and `L = local_qubits`, the state vector is
+/// split into `2^{n-L}` shards. Shard index bits are laid out as
+/// `[regional | global]`: the low `R = n - L - G` bits select a slot within
+/// a node, the high `G = log2(nodes)` bits select the node. When `2^R`
+/// exceeds `gpus_per_node`, the extra shards live in node DRAM and are
+/// swapped through the GPUs (the paper's DRAM-offloading mode, §VII-C).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineSpec {
+    /// Number of nodes (power of two).
+    pub nodes: usize,
+    /// GPUs per node (power of two).
+    pub gpus_per_node: usize,
+    /// L: each GPU holds `2^L` amplitudes in device memory.
+    pub local_qubits: u32,
+}
+
+impl MachineSpec {
+    /// A spec mirroring one Perlmutter node group: `nodes` × 4 × A100-40GB,
+    /// 28 local qubits (4 GiB of amplitudes per GPU).
+    pub fn perlmutter(nodes: usize) -> Self {
+        MachineSpec { nodes, gpus_per_node: 4, local_qubits: 28 }
+    }
+
+    /// Single-GPU machine with `l` local qubits.
+    pub fn single_gpu(l: u32) -> Self {
+        MachineSpec { nodes: 1, gpus_per_node: 1, local_qubits: l }
+    }
+
+    /// Total GPU count.
+    pub fn num_gpus(&self) -> usize {
+        self.nodes * self.gpus_per_node
+    }
+
+    /// G: number of global qubits (node-selecting shard bits).
+    pub fn global_qubits(&self) -> u32 {
+        self.nodes.trailing_zeros()
+    }
+
+    /// R for a circuit of `n` qubits: the regional (within-node) shard bits.
+    pub fn regional_qubits(&self, n: u32) -> u32 {
+        assert!(
+            n >= self.local_qubits + self.global_qubits(),
+            "circuit of {n} qubits too small for L={} G={}",
+            self.local_qubits,
+            self.global_qubits()
+        );
+        n - self.local_qubits - self.global_qubits()
+    }
+
+    /// Number of shards for an `n`-qubit circuit.
+    pub fn num_shards(&self, n: u32) -> usize {
+        1usize << (n - self.local_qubits)
+    }
+
+    /// Shards resident per node.
+    pub fn shards_per_node(&self, n: u32) -> usize {
+        1usize << self.regional_qubits(n)
+    }
+
+    /// `true` when shards outnumber GPUs and DRAM offloading is in effect.
+    pub fn offloading(&self, n: u32) -> bool {
+        self.shards_per_node(n) > self.gpus_per_node
+    }
+
+    /// Node that owns shard `s` (top `G` shard bits).
+    pub fn node_of_shard(&self, n: u32, s: usize) -> usize {
+        s >> self.regional_qubits(n)
+    }
+
+    /// GPU (flat id across the cluster) that processes shard `s`.
+    pub fn gpu_of_shard(&self, n: u32, s: usize) -> usize {
+        let node = self.node_of_shard(n, s);
+        let within = s & ((1 << self.regional_qubits(n)) - 1);
+        node * self.gpus_per_node + (within % self.gpus_per_node)
+    }
+
+    fn validate(&self) {
+        assert!(self.nodes.is_power_of_two(), "nodes must be a power of two");
+        assert!(
+            self.gpus_per_node.is_power_of_two(),
+            "gpus_per_node must be a power of two"
+        );
+    }
+
+    /// Panics if the spec is malformed.
+    pub fn checked(self) -> Self {
+        self.validate();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perlmutter_shape() {
+        let m = MachineSpec::perlmutter(64).checked();
+        assert_eq!(m.num_gpus(), 256);
+        assert_eq!(m.global_qubits(), 6);
+        assert_eq!(m.regional_qubits(36), 2);
+        assert_eq!(m.num_shards(36), 256);
+        assert!(!m.offloading(36));
+    }
+
+    #[test]
+    fn offload_detection() {
+        let m = MachineSpec::single_gpu(28);
+        assert_eq!(m.regional_qubits(32), 4);
+        assert!(m.offloading(32)); // 16 shards, 1 GPU
+        assert!(!m.offloading(28));
+    }
+
+    #[test]
+    fn shard_placement() {
+        let m = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 4 }.checked();
+        // n = 7 → 8 shards: R=2 (4 per node), G=1.
+        let n = 7;
+        assert_eq!(m.regional_qubits(n), 2);
+        assert_eq!(m.node_of_shard(n, 3), 0);
+        assert_eq!(m.node_of_shard(n, 4), 1);
+        // 4 shards per node on 2 GPUs → offloading.
+        assert!(m.offloading(n));
+        assert_eq!(m.gpu_of_shard(n, 0), 0);
+        assert_eq!(m.gpu_of_shard(n, 1), 1);
+        assert_eq!(m.gpu_of_shard(n, 2), 0);
+        assert_eq!(m.gpu_of_shard(n, 5), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Bit-level index manipulation for state-vector addressing.
+//!
+//! A state vector over `n` qubits has `2^n` amplitudes; amplitude index bit
+//! `j` is the value of physical qubit `j`. Applying a `k`-qubit gate touches
+//! groups of `2^k` amplitudes whose indices agree everywhere except on the
+//! gate's qubit bits — the paper's Eq. (1) stride function generalized to
+//! multiple qubits. These helpers construct those strided index sets.
+
+/// Returns `true` if bit `b` of `x` is set.
+#[inline(always)]
+pub fn test_bit(x: u64, b: u32) -> bool {
+    (x >> b) & 1 == 1
+}
+
+/// Sets bit `b` of `x`.
+#[inline(always)]
+pub fn set_bit(x: u64, b: u32) -> u64 {
+    x | (1u64 << b)
+}
+
+/// Clears bit `b` of `x`.
+#[inline(always)]
+pub fn clear_bit(x: u64, b: u32) -> u64 {
+    x & !(1u64 << b)
+}
+
+/// Inserts a zero bit at position `b`, shifting bits `≥ b` left by one.
+///
+/// This is the paper's `f(i) = 2^{q+1}·⌊i/2^q⌋ + (i mod 2^q)` from Eq. (1):
+/// enumerating `i ∈ [0, 2^{n-1})` with `insert_bit(i, q)` visits every index
+/// whose qubit-`q` bit is 0, exactly once.
+#[inline(always)]
+pub fn insert_bit(x: u64, b: u32) -> u64 {
+    let low_mask = (1u64 << b) - 1;
+    ((x & !low_mask) << 1) | (x & low_mask)
+}
+
+/// Inserts zero bits at each position in `bits` (must be strictly
+/// ascending), shifting the remaining bits upward.
+///
+/// Enumerating `i ∈ [0, 2^{n-k})` with `insert_bits(i, qs)` visits every
+/// base index of a `k`-qubit gate group exactly once.
+#[inline]
+pub fn insert_bits(x: u64, bits: &[u32]) -> u64 {
+    let mut y = x;
+    for &b in bits {
+        y = insert_bit(y, b);
+    }
+    y
+}
+
+/// Gathers the bits of `x` at the given positions into a compact value:
+/// result bit `t` = bit `bits[t]` of `x`.
+#[inline]
+pub fn extract_bits(x: u64, bits: &[u32]) -> u64 {
+    let mut y = 0u64;
+    for (t, &b) in bits.iter().enumerate() {
+        y |= ((x >> b) & 1) << t;
+    }
+    y
+}
+
+/// Scatters the low bits of `x` to the given positions: bit `t` of `x` goes
+/// to bit `bits[t]` of the result. Inverse of [`extract_bits`] on its range.
+#[inline]
+pub fn deposit_bits(x: u64, bits: &[u32]) -> u64 {
+    let mut y = 0u64;
+    for (t, &b) in bits.iter().enumerate() {
+        y |= ((x >> t) & 1) << b;
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_bit_matches_eq1() {
+        // Eq. (1): f(i) = 2^{q+1} * floor(i / 2^q) + (i mod 2^q)
+        for q in 0..6u32 {
+            for i in 0..64u64 {
+                let expected = (i >> q << (q + 1)) + (i & ((1 << q) - 1));
+                assert_eq!(insert_bit(i, q), expected, "q={q} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_bit_enumerates_zero_bit_indices() {
+        let q = 2u32;
+        let n = 5u32;
+        let mut seen: Vec<u64> = (0..1u64 << (n - 1)).map(|i| insert_bit(i, q)).collect();
+        seen.sort_unstable();
+        let expected: Vec<u64> = (0..1u64 << n).filter(|i| !test_bit(*i, q)).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn insert_bits_multi() {
+        // Inserting zeros at {1, 3}: the base indices of a 2-qubit gate on
+        // qubits 1 and 3 of a 4-qubit register.
+        let bases: Vec<u64> = (0..4u64).map(|i| insert_bits(i, &[1, 3])).collect();
+        assert_eq!(bases, vec![0b0000, 0b0001, 0b0100, 0b0101]);
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip() {
+        let bits = [0u32, 2, 5, 9];
+        for x in 0..16u64 {
+            assert_eq!(extract_bits(deposit_bits(x, &bits), &bits), x);
+        }
+        // extract ∘ deposit on a full index keeps non-selected bits out.
+        let idx = 0b10_0110_1101u64;
+        let packed = extract_bits(idx, &bits);
+        assert_eq!(packed & !0xF, 0);
+    }
+
+    #[test]
+    fn set_clear_test() {
+        let x = 0b1010u64;
+        assert!(test_bit(x, 1));
+        assert!(!test_bit(x, 0));
+        assert_eq!(set_bit(x, 0), 0b1011);
+        assert_eq!(clear_bit(x, 3), 0b0010);
+    }
+}

@@ -1,0 +1,136 @@
+//! Shared-memory-style batched execution.
+//!
+//! Atlas shared-memory kernels (§VI-B, approach 2) load a micro-batch of
+//! amplitudes into GPU shared memory, apply the kernel's gates one by one
+//! inside the fast memory, and write the batch back. The CPU analogue loads
+//! the batch into a small stack-local buffer (which lives in L1/L2), giving
+//! the same memory-traffic structure: one read + one write of the state
+//! per *kernel* instead of per *gate*.
+//!
+//! The paper (and HyQuas) require the three least significant qubits of the
+//! state vector to be active in every shared-memory kernel so each load
+//! moves at least 8 contiguous amplitudes (128 bytes); the same constraint
+//! is enforced by the kernelizer's cost model and validated here.
+
+use atlas_circuit::Gate;
+use atlas_qmath::{deposit_bits, insert_bits, Complex64};
+
+use crate::apply::apply_gate;
+
+/// Applies `gates` to the amplitude slice by batching over `active_qubits`.
+///
+/// Every gate's qubits must lie inside `active_qubits`. The slice length
+/// must be `2^n` with `n ≥ |active_qubits|`.
+///
+/// # Panics
+/// If a gate touches a qubit outside the active set.
+pub fn apply_batched(amps: &mut [Complex64], active_qubits: &[u32], gates: &[Gate]) {
+    let b = active_qubits.len();
+    let mut sorted: Vec<u32> = active_qubits.to_vec();
+    sorted.sort_unstable();
+
+    // Remap every gate onto batch-local qubit positions 0..b.
+    let remapped: Vec<Gate> = gates
+        .iter()
+        .map(|g| {
+            let local: Vec<u32> = g
+                .qubits
+                .iter()
+                .map(|q| {
+                    sorted
+                        .iter()
+                        .position(|&aq| aq == q)
+                        .unwrap_or_else(|| panic!("gate qubit {q} outside active set")) as u32
+                })
+                .collect();
+            Gate::new(g.kind, &local)
+        })
+        .collect();
+
+    let dim = 1usize << b;
+    let groups = amps.len() >> b;
+    let mut buf = vec![Complex64::ZERO; dim];
+    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, &sorted)).collect();
+    for g in 0..groups as u64 {
+        let base = insert_bits(g, &sorted);
+        // Load the micro-batch ("shared memory" fill).
+        for (x, off) in offsets.iter().enumerate() {
+            buf[x] = amps[(base | off) as usize];
+        }
+        // Apply every gate inside the fast buffer.
+        for gate in &remapped {
+            apply_gate(&mut buf, gate);
+        }
+        // Write back.
+        for (x, off) in offsets.iter().enumerate() {
+            amps[(base | off) as usize] = buf[x];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateVector;
+    use atlas_circuit::Circuit;
+
+    #[test]
+    fn batched_matches_sequential() {
+        let mut prep = Circuit::new(6);
+        for q in 0..6 {
+            prep.h(q).rz(0.1 * (q + 1) as f64, q);
+        }
+        let mut kernel = Circuit::new(6);
+        kernel.cx(1, 4).t(4).cp(0.9, 5, 1).h(5).cz(4, 5);
+
+        let mut sv_a = StateVector::zero_state(6);
+        for g in prep.gates() {
+            apply_gate(sv_a.amplitudes_mut(), g);
+        }
+        let mut sv_b = sv_a.clone();
+
+        for g in kernel.gates() {
+            apply_gate(sv_a.amplitudes_mut(), g);
+        }
+        apply_batched(sv_b.amplitudes_mut(), &[1, 4, 5], kernel.gates());
+
+        assert!(
+            sv_a.approx_eq(&sv_b, 1e-10),
+            "batched diverged: {}",
+            sv_a.max_abs_diff(&sv_b)
+        );
+    }
+
+    #[test]
+    fn batched_with_full_active_set_is_plain_application() {
+        let mut kernel = Circuit::new(3);
+        kernel.h(0).cx(0, 1).cx(1, 2);
+        let mut sv_a = StateVector::zero_state(3);
+        for g in kernel.gates() {
+            apply_gate(sv_a.amplitudes_mut(), g);
+        }
+        let mut sv_b = StateVector::zero_state(3);
+        apply_batched(sv_b.amplitudes_mut(), &[0, 1, 2], kernel.gates());
+        assert!(sv_a.approx_eq(&sv_b, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside active set")]
+    fn gate_outside_active_set_panics() {
+        let mut kernel = Circuit::new(4);
+        kernel.cx(0, 3);
+        let mut sv = StateVector::zero_state(4);
+        apply_batched(sv.amplitudes_mut(), &[0, 1], kernel.gates());
+    }
+
+    #[test]
+    fn active_order_does_not_matter() {
+        let mut kernel = Circuit::new(5);
+        kernel.h(2).cx(2, 4).rz(0.5, 4);
+        let mut a = StateVector::basis_state(5, 7);
+        let mut b = a.clone();
+        apply_batched(a.amplitudes_mut(), &[2, 4, 0], kernel.gates());
+        apply_batched(b.amplitudes_mut(), &[0, 4, 2], kernel.gates());
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+}

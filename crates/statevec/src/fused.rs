@@ -1,0 +1,143 @@
+//! Gate fusion: combining a kernel's gate list into one dense unitary.
+//!
+//! Atlas fusion kernels (§VI-B, approach 1) pre-multiply the gate matrices
+//! of a kernel into a single `2^k × 2^k` unitary and apply it in one pass —
+//! the same thing cuQuantum's apply-matrix does on a real GPU.
+
+use atlas_circuit::Gate;
+use atlas_qmath::{extract_bits, Matrix};
+
+/// Embeds a gate unitary `m` (over `gate_qubits`, matrix bit `t` =
+/// `gate_qubits[t]`) into the space of `kernel_qubits` (kernel bit `t` =
+/// `kernel_qubits[t]`). Every gate qubit must appear in the kernel set.
+pub fn expand_to_kernel(kernel_qubits: &[u32], gate_qubits: &[u32], m: &Matrix) -> Matrix {
+    let kk = kernel_qubits.len();
+    let kg = gate_qubits.len();
+    assert_eq!(m.rows(), 1 << kg);
+    // Position of each gate qubit inside the kernel index.
+    let pos: Vec<u32> = gate_qubits
+        .iter()
+        .map(|q| {
+            kernel_qubits
+                .iter()
+                .position(|kq| kq == q)
+                .expect("gate qubit not in kernel") as u32
+        })
+        .collect();
+    let dim = 1usize << kk;
+    let mut out = Matrix::zeros(dim, dim);
+    let gate_mask: u64 = pos.iter().fold(0, |acc, &p| acc | (1u64 << p));
+    for row in 0..dim as u64 {
+        let r_sub = extract_bits(row, &pos) as usize;
+        let fixed = row & !gate_mask;
+        for c_sub in 0..1u64 << kg {
+            // Scatter c_sub back onto the gate bit positions.
+            let mut col = fixed;
+            for (t, &p) in pos.iter().enumerate() {
+                col |= ((c_sub >> t) & 1) << p;
+            }
+            out[(row as usize, col as usize)] = m[(r_sub, c_sub as usize)];
+        }
+    }
+    out
+}
+
+/// Multiplies the gates of a kernel (in program order) into a single
+/// unitary over `kernel_qubits`. Applying the result is equivalent to
+/// applying the gates in sequence.
+pub fn fuse_gates(kernel_qubits: &[u32], gates: &[Gate]) -> Matrix {
+    let mut acc = Matrix::identity(1 << kernel_qubits.len());
+    for g in gates {
+        let expanded = expand_to_kernel(kernel_qubits, g.qubits.as_slice(), &g.matrix());
+        acc = &expanded * &acc;
+    }
+    acc
+}
+
+/// Fuses pre-expanded/reduced unitaries (already paired with their qubit
+/// lists) — used by the executor when insular specialization has replaced
+/// gates with reduced matrices.
+pub fn fuse_matrices(kernel_qubits: &[u32], parts: &[(Vec<u32>, Matrix)]) -> Matrix {
+    let mut acc = Matrix::identity(1 << kernel_qubits.len());
+    for (qs, m) in parts {
+        let expanded = expand_to_kernel(kernel_qubits, qs, m);
+        acc = &expanded * &acc;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::{apply_gate, apply_matrix};
+    use crate::state::StateVector;
+    use atlas_circuit::{Circuit, GateKind};
+
+    #[test]
+    fn expand_identity_gate() {
+        let id = Matrix::identity(2);
+        let big = expand_to_kernel(&[4, 7, 9], &[7], &id);
+        assert!(big.approx_eq(&Matrix::identity(8), 1e-12));
+    }
+
+    #[test]
+    fn expanded_gate_is_unitary() {
+        let m = GateKind::CRY(0.7).matrix();
+        let big = expand_to_kernel(&[1, 3, 5, 8], &[5, 1], &m);
+        assert!(big.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn fused_application_matches_sequential() {
+        // A 3-qubit kernel from a realistic gate mix.
+        let mut c = Circuit::new(5);
+        c.h(1).cx(1, 3).t(3).cp(0.8, 4, 1).h(4).swap(1, 4).rz(0.3, 3);
+        let kernel_qubits = [1u32, 3, 4];
+        let fused = fuse_gates(&kernel_qubits, c.gates());
+        assert!(fused.is_unitary(1e-9));
+
+        // Dense random-ish state.
+        let mut prep = Circuit::new(5);
+        for q in 0..5 {
+            prep.h(q).t(q).rx(0.3 + q as f64, q);
+        }
+        let mut sv_seq = StateVector::zero_state(5);
+        for g in prep.gates() {
+            apply_gate(sv_seq.amplitudes_mut(), g);
+        }
+        let mut sv_fused = sv_seq.clone();
+
+        for g in c.gates() {
+            apply_gate(sv_seq.amplitudes_mut(), g);
+        }
+        apply_matrix(sv_fused.amplitudes_mut(), &kernel_qubits, &fused);
+
+        assert!(
+            sv_seq.approx_eq(&sv_fused, 1e-9),
+            "fused vs sequential max diff = {}",
+            sv_seq.max_abs_diff(&sv_fused)
+        );
+    }
+
+    #[test]
+    fn fuse_matrices_matches_fuse_gates() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 2).cp(0.4, 2, 0);
+        let kq = [0u32, 2];
+        let a = fuse_gates(&kq, c.gates());
+        let parts: Vec<(Vec<u32>, Matrix)> = c
+            .gates()
+            .iter()
+            .map(|g| (g.qubits.as_slice().to_vec(), g.matrix()))
+            .collect();
+        let b = fuse_matrices(&kq, &parts);
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in kernel")]
+    fn gate_outside_kernel_panics() {
+        let m = GateKind::H.matrix();
+        let _ = expand_to_kernel(&[0, 1], &[2], &m);
+    }
+}

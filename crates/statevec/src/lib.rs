@@ -1,0 +1,36 @@
+//! # atlas-statevec
+//!
+//! The Schrödinger-style state-vector engine: amplitude storage, gate
+//! application kernels (general `k`-qubit plus specialized single-qubit /
+//! diagonal / controlled paths), gate fusion into dense kernel matrices,
+//! shared-memory-style batched execution (the CPU analogue of HyQuas
+//! SHM-GROUPING that Atlas' shared-memory kernels model), and a
+//! multi-threaded apply path.
+//!
+//! All apply functions operate on raw `&mut [Complex64]` amplitude slices so
+//! that `atlas-machine` device memories and `atlas-core` shards can reuse
+//! them without copies.
+
+pub mod apply;
+pub mod batched;
+pub mod fused;
+pub mod parallel;
+pub mod state;
+
+pub use apply::{apply_gate, apply_matrix};
+pub use batched::apply_batched;
+pub use fused::{expand_to_kernel, fuse_gates};
+pub use state::StateVector;
+
+use atlas_circuit::Circuit;
+
+/// Reference simulation: applies every gate of `circuit` in order to the
+/// `|0…0⟩` state, single-threaded. This is the golden model the distributed
+/// executor is validated against.
+pub fn simulate_reference(circuit: &Circuit) -> StateVector {
+    let mut sv = StateVector::zero_state(circuit.num_qubits());
+    for g in circuit.gates() {
+        apply_gate(sv.amplitudes_mut(), g);
+    }
+    sv
+}

@@ -1,0 +1,145 @@
+//! Multi-threaded gate application.
+//!
+//! A `k`-qubit gate partitions the index space into `2^{n-k}` independent
+//! groups; threads process disjoint group ranges, so the only unsafe
+//! ingredient is a `Sync` wrapper around the shared amplitude pointer.
+//! Safety argument: group `g` touches exactly the indices
+//! `insert_bits(g, qubits) | deposit_bits(x, qubits)` for `x < 2^k`, and
+//! those sets are disjoint for distinct `g` (the non-gate bits differ).
+
+use atlas_circuit::Gate;
+use atlas_qmath::{deposit_bits, insert_bits, Complex64, Matrix};
+use std::cell::UnsafeCell;
+
+/// Shared mutable amplitude slice for provably disjoint writes.
+struct AmpCell<'a>(&'a [UnsafeCell<Complex64>]);
+unsafe impl Sync for AmpCell<'_> {}
+
+impl<'a> AmpCell<'a> {
+    fn new(amps: &'a mut [Complex64]) -> Self {
+        // SAFETY: Complex64 and UnsafeCell<Complex64> have identical layout.
+        let ptr = amps.as_mut_ptr() as *const UnsafeCell<Complex64>;
+        AmpCell(unsafe { std::slice::from_raw_parts(ptr, amps.len()) })
+    }
+
+    /// # Safety
+    /// Caller must guarantee `idx` is not accessed concurrently.
+    #[inline(always)]
+    unsafe fn read(&self, idx: usize) -> Complex64 {
+        *self.0[idx].get()
+    }
+
+    /// # Safety
+    /// Caller must guarantee `idx` is not accessed concurrently.
+    #[inline(always)]
+    unsafe fn write(&self, idx: usize, v: Complex64) {
+        *self.0[idx].get() = v;
+    }
+}
+
+/// Applies unitary `m` over `qubits` using up to `threads` OS threads.
+/// Functionally identical to [`crate::apply::apply_matrix`].
+pub fn apply_matrix_parallel(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    m: &Matrix,
+    threads: usize,
+) {
+    let k = qubits.len();
+    assert_eq!(m.rows(), 1 << k);
+    let groups = amps.len() >> k;
+    let threads = threads.clamp(1, groups.max(1));
+    if threads == 1 || groups < 1024 {
+        crate::apply::apply_matrix(amps, qubits, m);
+        return;
+    }
+    let mut sorted: Vec<u32> = qubits.to_vec();
+    sorted.sort_unstable();
+    let dim = 1usize << k;
+    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, qubits)).collect();
+    let cell = AmpCell::new(amps);
+    let chunk = groups.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cell = &cell;
+            let sorted = &sorted;
+            let offsets = &offsets;
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(groups);
+            if lo >= hi {
+                continue;
+            }
+            scope.spawn(move || {
+                let mut inbuf = vec![Complex64::ZERO; dim];
+                let mut outbuf = vec![Complex64::ZERO; dim];
+                for g in lo as u64..hi as u64 {
+                    let base = insert_bits(g, sorted);
+                    for (x, off) in offsets.iter().enumerate() {
+                        // SAFETY: distinct groups touch disjoint indices.
+                        inbuf[x] = unsafe { cell.read((base | off) as usize) };
+                    }
+                    m.mul_vec_into(&inbuf, &mut outbuf);
+                    for (x, off) in offsets.iter().enumerate() {
+                        // SAFETY: as above.
+                        unsafe { cell.write((base | off) as usize, outbuf[x]) };
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Applies a full gate with thread-level parallelism (general path only —
+/// the dispatcher in `apply` remains the single-thread entry point).
+pub fn apply_gate_parallel(amps: &mut [Complex64], gate: &Gate, threads: usize) {
+    apply_matrix_parallel(amps, gate.qubits.as_slice(), &gate.matrix(), threads);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_gate;
+    use crate::state::StateVector;
+    use atlas_circuit::Circuit;
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 12;
+        let mut prep = Circuit::new(n);
+        for q in 0..n {
+            prep.h(q).rz(0.05 * (q + 1) as f64, q);
+        }
+        let mut a = StateVector::zero_state(n);
+        for g in prep.gates() {
+            apply_gate(a.amplitudes_mut(), g);
+        }
+        let mut b = a.clone();
+
+        let mut work = Circuit::new(n);
+        work.cx(3, 9).h(11).cp(0.7, 0, 10).swap(2, 8);
+        for g in work.gates() {
+            apply_gate(a.amplitudes_mut(), g);
+        }
+        for g in work.gates() {
+            apply_gate_parallel(b.amplitudes_mut(), g, 4);
+        }
+        assert!(
+            a.approx_eq(&b, 1e-10),
+            "parallel diverged: {}",
+            a.max_abs_diff(&b)
+        );
+    }
+
+    #[test]
+    fn single_thread_falls_back() {
+        let mut a = StateVector::basis_state(4, 5);
+        let mut b = a.clone();
+        let mut c = Circuit::new(4);
+        c.h(1).cx(1, 3);
+        for g in c.gates() {
+            apply_gate(a.amplitudes_mut(), g);
+            apply_gate_parallel(b.amplitudes_mut(), g, 1);
+        }
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+}

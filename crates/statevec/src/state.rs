@@ -1,0 +1,181 @@
+//! Owned state vectors and measurement utilities.
+
+use atlas_qmath::{Complex64, EPS};
+
+/// A full state vector over `n` qubits: `2^n` complex amplitudes, index bit
+/// `j` = qubit `j`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateVector {
+    n: u32,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// `|0…0⟩` over `n` qubits.
+    pub fn zero_state(n: u32) -> Self {
+        assert!(n <= 30, "allocating 2^{n} amplitudes exceeds sane host memory");
+        let mut amps = vec![Complex64::ZERO; 1usize << n];
+        amps[0] = Complex64::ONE;
+        StateVector { n, amps }
+    }
+
+    /// The computational basis state `|index⟩`.
+    pub fn basis_state(n: u32, index: u64) -> Self {
+        let mut sv = StateVector::zero_state(n);
+        sv.amps[0] = Complex64::ZERO;
+        sv.amps[index as usize] = Complex64::ONE;
+        sv
+    }
+
+    /// Wraps an existing amplitude vector (length must be a power of two).
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
+        let n = amps.len().trailing_zeros();
+        StateVector { n, amps }
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> u32 {
+        self.n
+    }
+
+    /// Immutable amplitudes.
+    #[inline]
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Mutable amplitudes.
+    #[inline]
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
+    /// Consumes the state, returning the amplitude vector.
+    pub fn into_amplitudes(self) -> Vec<Complex64> {
+        self.amps
+    }
+
+    /// Σ|αᵢ|² — should be 1 for a physical state.
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Probability of measuring the basis state `index`.
+    pub fn probability(&self, index: u64) -> f64 {
+        self.amps[index as usize].norm_sqr()
+    }
+
+    /// Marginal probability that qubit `q` measures `1`.
+    pub fn qubit_probability(&self, q: u32) -> f64 {
+        let bit = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.n, other.n);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// `true` if every amplitude matches `other` within `eps`.
+    pub fn approx_eq(&self, other: &StateVector, eps: f64) -> bool {
+        self.n == other.n
+            && self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(a, b)| a.approx_eq(*b, eps))
+    }
+
+    /// Largest absolute amplitude difference against `other`.
+    pub fn max_abs_diff(&self, other: &StateVector) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(a, b)| (*a - *b).norm())
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` if the state is normalized within `eps`.
+    pub fn is_normalized(&self, eps: f64) -> bool {
+        (self.norm_sqr() - 1.0).abs() <= eps
+    }
+
+    /// The `k` most probable basis states as `(index, probability)`,
+    /// descending.
+    pub fn top_probabilities(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut probs: Vec<(u64, f64)> = self
+            .amps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i as u64, a.norm_sqr()))
+            .filter(|(_, p)| *p > EPS)
+            .collect();
+        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        probs.truncate(k);
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let sv = StateVector::zero_state(3);
+        assert_eq!(sv.amplitudes().len(), 8);
+        assert_eq!(sv.probability(0), 1.0);
+        assert!(sv.is_normalized(1e-12));
+    }
+
+    #[test]
+    fn basis_state_places_amplitude() {
+        let sv = StateVector::basis_state(3, 5);
+        assert_eq!(sv.probability(5), 1.0);
+        assert_eq!(sv.probability(0), 0.0);
+        assert_eq!(sv.qubit_probability(0), 1.0); // 5 = 0b101
+        assert_eq!(sv.qubit_probability(1), 0.0);
+        assert_eq!(sv.qubit_probability(2), 1.0);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states_is_one() {
+        let a = StateVector::basis_state(2, 3);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+        let b = StateVector::basis_state(2, 1);
+        assert!(a.fidelity(&b) < 1e-12);
+    }
+
+    #[test]
+    fn top_probabilities_sorted() {
+        let amps = vec![
+            Complex64::real(0.8),
+            Complex64::real(0.6),
+            Complex64::ZERO,
+            Complex64::ZERO,
+        ];
+        let sv = StateVector::from_amplitudes(amps);
+        let top = sv.top_probabilities(2);
+        assert_eq!(top[0].0, 0);
+        assert!((top[0].1 - 0.64).abs() < 1e-12);
+        assert_eq!(top[1].0, 1);
+    }
+}

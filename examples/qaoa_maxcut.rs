@@ -1,0 +1,87 @@
+//! QAOA for MaxCut on a 12-node ring graph, depth p = 2 — the variational
+//! workload class the paper's introduction motivates (vqc/qsvm families).
+//!
+//! Builds the cost layer from `RZZ` couplers and the mixer from `RX`
+//! rotations, runs the distributed simulation, and reports the expected
+//! cut value plus the machine's communication profile.
+//!
+//! ```sh
+//! cargo run --release --example qaoa_maxcut
+//! ```
+
+use atlas::prelude::*;
+
+const N: u32 = 12;
+
+fn ring_edges() -> Vec<(u32, u32)> {
+    (0..N).map(|i| (i, (i + 1) % N)).collect()
+}
+
+fn qaoa_circuit(gammas: &[f64], betas: &[f64]) -> Circuit {
+    let mut c = Circuit::named(N, "qaoa_maxcut_ring12");
+    for q in 0..N {
+        c.h(q);
+    }
+    for (&gamma, &beta) in gammas.iter().zip(betas) {
+        // Cost layer e^{-iγ Z_a Z_b} per edge = RZZ(2γ).
+        for &(a, b) in &ring_edges() {
+            c.add(GateKind::RZZ(2.0 * gamma), &[a, b]);
+        }
+        // Mixer e^{-iβ X_q} = RX(2β).
+        for q in 0..N {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
+fn cut_value(bits: u64) -> u32 {
+    ring_edges()
+        .iter()
+        .filter(|&&(a, b)| (bits >> a & 1) != (bits >> b & 1))
+        .count() as u32
+}
+
+fn main() {
+    // The p=1 ring-graph optimum under this gate convention:
+    // (γ, β) = (3π/8, π/8) reaches the known ratio of 3/4 (verified by a
+    // parameter scan against the reference simulator).
+    let gammas = [3.0 * std::f64::consts::PI / 8.0];
+    let betas = [std::f64::consts::PI / 8.0];
+    let circuit = qaoa_circuit(&gammas, &betas);
+
+    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 9 };
+    let cfg = AtlasConfig::for_validation();
+    let out = simulate(&circuit, spec, CostModel::default(), &cfg, false)
+        .expect("simulation failed");
+    let state = out.state.expect("functional run");
+
+    let expected_cut: f64 = state
+        .amplitudes()
+        .iter()
+        .enumerate()
+        .map(|(i, a)| a.norm_sqr() * f64::from(cut_value(i as u64)))
+        .sum();
+
+    println!(
+        "QAOA MaxCut, ring graph n={N}, p={}, {} gates, {} stages",
+        gammas.len(),
+        circuit.num_gates(),
+        out.plan.stages.len()
+    );
+    println!("max cut (exact)      : {N}");
+    println!("⟨cut⟩ from QAOA state: {expected_cut:.3}");
+    println!("approximation ratio  : {:.3}", expected_cut / f64::from(N));
+
+    println!("\nmost likely assignments:");
+    for (bits, p) in state.top_probabilities(5) {
+        println!("  |{bits:012b}⟩  cut = {:2}  p = {p:.5}", cut_value(bits));
+    }
+
+    println!("\nmachine profile:");
+    println!("  model time    : {:.6} s", out.report.total_secs);
+    println!("  comm fraction : {:.1} %", 100.0 * out.report.comm_fraction());
+    println!("  kernels       : {}", out.report.kernels);
+
+    assert!(expected_cut / f64::from(N) > 0.74, "p=1 ring optimum reaches 3/4");
+}

@@ -1,0 +1,239 @@
+//! `atlas-sim` — command-line front end for the simulator.
+//!
+//! Simulate a benchmark family or a QASM file on a configurable simulated
+//! cluster, functionally (exact amplitudes) or as a dry-run clock model at
+//! paper scale.
+//!
+//! ```text
+//! atlas-sim --family qft -n 12 --nodes 2 --gpus 2 -L 9
+//! atlas-sim --qasm circuit.qasm --nodes 1 --gpus 4 -L 24 --dry
+//! atlas-sim --family su2random -n 30 -L 26 --dry --baseline hyquas
+//! ```
+
+use atlas::baselines;
+use atlas::circuit::qasm;
+use atlas::prelude::*;
+use std::process::ExitCode;
+
+struct Args {
+    family: Option<String>,
+    qasm_path: Option<String>,
+    n: u32,
+    nodes: usize,
+    gpus_per_node: usize,
+    local_qubits: u32,
+    dry: bool,
+    baseline: Option<String>,
+    top: usize,
+    plan_only: bool,
+}
+
+const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
+
+USAGE:
+    atlas-sim --family <name> -n <qubits> [options]
+    atlas-sim --qasm <file> [options]
+
+CIRCUIT:
+    --family <name>     ae|dj|ghz|graphstate|ising|qft|qpeexact|qsvm|
+                        su2random|vqc|wstate|hhl
+    -n <qubits>         circuit size (default 10)
+    --qasm <file>       read an OpenQASM-2 subset file instead
+
+MACHINE (simulated):
+    --nodes <k>         number of nodes, power of two      (default 1)
+    --gpus <k>          GPUs per node, power of two        (default 1)
+    -L <k>              local qubits per GPU (2^L amps)    (default n)
+
+MODE:
+    --dry               clock model only (no amplitudes; any n)
+    --plan              print the partition plan and exit
+    --baseline <name>   run a comparator instead of Atlas:
+                        hyquas|cuquantum|qiskit|qdao
+    --top <k>           print the k most probable outcomes (default 8)
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        family: None,
+        qasm_path: None,
+        n: 10,
+        nodes: 1,
+        gpus_per_node: 1,
+        local_qubits: 0,
+        dry: false,
+        baseline: None,
+        top: 8,
+        plan_only: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let mut l_set = false;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--family" => args.family = Some(take(&mut i)?),
+            "--qasm" => args.qasm_path = Some(take(&mut i)?),
+            "-n" => args.n = take(&mut i)?.parse().map_err(|e| format!("-n: {e}"))?,
+            "--nodes" => args.nodes = take(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--gpus" => {
+                args.gpus_per_node = take(&mut i)?.parse().map_err(|e| format!("--gpus: {e}"))?
+            }
+            "-L" => {
+                args.local_qubits = take(&mut i)?.parse().map_err(|e| format!("-L: {e}"))?;
+                l_set = true;
+            }
+            "--dry" => args.dry = true,
+            "--plan" => args.plan_only = true,
+            "--baseline" => args.baseline = Some(take(&mut i)?),
+            "--top" => args.top = take(&mut i)?.parse().map_err(|e| format!("--top: {e}"))?,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+        i += 1;
+    }
+    if !l_set {
+        args.local_qubits = args.n;
+    }
+    Ok(args)
+}
+
+fn build_circuit(args: &Args) -> Result<Circuit, String> {
+    if let Some(path) = &args.qasm_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return qasm::from_qasm(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let name = args.family.as_deref().ok_or("need --family or --qasm (try --help)")?;
+    let fam = Family::from_name(name).ok_or_else(|| format!("unknown family '{name}'"))?;
+    Ok(fam.generate(args.n))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let circuit = match build_circuit(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let n = circuit.num_qubits();
+    let spec = MachineSpec {
+        nodes: args.nodes,
+        gpus_per_node: args.gpus_per_node,
+        local_qubits: args.local_qubits.min(n),
+    };
+    let cost = CostModel::default();
+    let dry = args.dry || n > 26;
+    if dry && !args.dry {
+        eprintln!("note: n = {n} exceeds the functional limit; switching to --dry");
+    }
+
+    println!(
+        "circuit {} : {} qubits, {} gates, depth {}",
+        if circuit.name().is_empty() { "<qasm>" } else { circuit.name() },
+        n,
+        circuit.num_gates(),
+        circuit.depth()
+    );
+    println!(
+        "machine : {} node(s) x {} GPU(s), L={} ({} shard(s)){}",
+        spec.nodes,
+        spec.gpus_per_node,
+        spec.local_qubits,
+        spec.num_shards(n),
+        if spec.offloading(n) { ", DRAM offloading" } else { "" }
+    );
+
+    let mut cfg = AtlasConfig::default();
+    cfg.final_unpermute = !dry;
+
+    if args.plan_only {
+        let plan = match atlas::core::exec::plan(
+            &circuit,
+            spec.local_qubits,
+            spec.global_qubits(),
+            &cost,
+            &cfg,
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "plan    : {} stage(s), staging cost {}, kernel cost {:.4} ns/amp",
+            plan.stages.len(),
+            plan.staging_cost,
+            plan.kernel_cost
+        );
+        for (k, sp) in plan.stages.iter().enumerate() {
+            println!(
+                "  stage {k}: {} gates, {} kernels, local={:?}",
+                sp.stage.gates.len(),
+                sp.kernels.len(),
+                sp.stage.partition.local
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (report, state) = match args.baseline.as_deref() {
+        None => {
+            let out = match atlas::core::simulate::simulate(&circuit, spec, cost, &cfg, dry) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "plan    : {} stage(s), staging cost {}",
+                out.plan.stages.len(),
+                out.plan.staging_cost
+            );
+            (out.report, out.state)
+        }
+        Some(b) => {
+            let r = match b {
+                "hyquas" => baselines::hyquas(&circuit, spec, cost, dry),
+                "cuquantum" => baselines::cuquantum(&circuit, spec, cost, dry),
+                "qiskit" => baselines::qiskit(&circuit, spec, cost, dry),
+                "qdao" => baselines::qdao_run(&circuit, spec, cost, spec.local_qubits, 19),
+                other => Err(format!("unknown baseline '{other}'")),
+            };
+            match r {
+                Ok(o) => (o.report, o.state),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    println!(
+        "model   : total {:.6} s  (compute {:.6}, comm {:.6}, swap {:.6}; {} kernels)",
+        report.total_secs, report.compute_secs, report.comm_secs, report.swap_secs, report.kernels
+    );
+    if let Some(state) = state {
+        println!("top outcomes:");
+        for (idx, p) in state.top_probabilities(args.top) {
+            println!("  |{idx:0width$b}>  p = {p:.6}", width = n as usize);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the integration tests: a proptest strategy that
+//! generates arbitrary well-formed circuits over the full gate alphabet.
+
+use atlas::prelude::*;
+use proptest::prelude::*;
+
+/// Picks `k` distinct qubits out of `n` from an index seed.
+fn pick_qubits(n: u32, k: usize, seed: u64) -> Vec<u32> {
+    let mut qs: Vec<u32> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..qs.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        qs.swap(i, j);
+    }
+    qs.truncate(k);
+    qs
+}
+
+/// Strategy: one random gate over `n` qubits.
+fn arb_gate(n: u32) -> impl Strategy<Value = Gate> {
+    (0usize..18, any::<u64>(), -3.0f64..3.0).prop_map(move |(kind_idx, seed, theta)| {
+        use GateKind::*;
+        let (kind, arity) = match kind_idx {
+            0 => (H, 1),
+            1 => (X, 1),
+            2 => (Y, 1),
+            3 => (Z, 1),
+            4 => (S, 1),
+            5 => (T, 1),
+            6 => (RX(theta), 1),
+            7 => (RY(theta), 1),
+            8 => (RZ(theta), 1),
+            9 => (P(theta), 1),
+            10 => (CX, 2),
+            11 => (CZ, 2),
+            12 => (CP(theta), 2),
+            13 => (CRY(theta), 2),
+            14 => (Swap, 2),
+            15 => (RZZ(theta), 2),
+            16 => (CCX, 3),
+            _ => (CCZ, 3),
+        };
+        Gate::new(kind, &pick_qubits(n, arity, seed))
+    })
+}
+
+/// Strategy: a random circuit with `n` qubits and up to `max_gates` gates.
+pub fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::named(n, "random");
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
