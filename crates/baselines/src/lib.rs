@@ -48,7 +48,10 @@ pub fn hyquas(
     let mut cfg = AtlasConfig::hyquas_like();
     cfg.final_unpermute = !dry;
     let out = atlas_core::simulate(circuit, spec, cost, &cfg, dry)?;
-    Ok(BaselineOutput { report: out.report, state: out.state })
+    Ok(BaselineOutput {
+        report: out.report,
+        state: out.state,
+    })
 }
 
 /// HyQuas-like with Atlas' ILP staging (ablation helper: isolates the
@@ -63,7 +66,10 @@ pub fn hyquas_with_ilp_staging(
     cfg.staging = StagingAlgo::IlpSearch;
     cfg.final_unpermute = !dry;
     let out = atlas_core::simulate(circuit, spec, cost, &cfg, dry)?;
-    Ok(BaselineOutput { report: out.report, state: out.state })
+    Ok(BaselineOutput {
+        report: out.report,
+        state: out.state,
+    })
 }
 
 /// cuQuantum-like (cusvaer): greedy fusion + swap-based redistribution.
@@ -119,5 +125,8 @@ pub fn qdao_run(
     t: u32,
 ) -> Result<BaselineOutput, String> {
     let report = qdao::run(circuit, spec, cost, m, t)?;
-    Ok(BaselineOutput { report, state: None })
+    Ok(BaselineOutput {
+        report,
+        state: None,
+    })
 }

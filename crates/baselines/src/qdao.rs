@@ -54,7 +54,11 @@ pub fn run(
     // state: QDAO's own charges below replace the Atlas-side offload swap
     // model (`spec` only tells us the GPU count, which QDAO cannot use).
     let _ = spec;
-    let ledger_spec = MachineSpec { nodes: 1, gpus_per_node: 1, local_qubits: n };
+    let ledger_spec = MachineSpec {
+        nodes: 1,
+        gpus_per_node: 1,
+        local_qubits: n,
+    };
     let mut machine = Machine::new(ledger_spec, cost.clone(), n, true);
     machine.overlap_io = false; // QDAO does not overlap IO with compute
     let groups = groups(circuit, t.min(n));
@@ -107,10 +111,24 @@ mod tests {
         // Fig. 8's observation: more GPUs do not help (sequential block
         // scheduler).
         let c = Family::Qft.generate(30);
-        let r1 = run(&c, MachineSpec::single_gpu(26), CostModel::default(), 26, 19).unwrap();
-        let spec4 = MachineSpec { nodes: 1, gpus_per_node: 4, local_qubits: 26 };
+        let r1 = run(
+            &c,
+            MachineSpec::single_gpu(26),
+            CostModel::default(),
+            26,
+            19,
+        )
+        .unwrap();
+        let spec4 = MachineSpec {
+            nodes: 1,
+            gpus_per_node: 4,
+            local_qubits: 26,
+        };
         let r4 = run(&c, spec4, CostModel::default(), 26, 19).unwrap();
         let speedup = r1.total_secs / r4.total_secs;
-        assert!((0.99..1.01).contains(&speedup), "QDAO must stay flat, got {speedup}");
+        assert!(
+            (0.99..1.01).contains(&speedup),
+            "QDAO must stay flat, got {speedup}"
+        );
     }
 }

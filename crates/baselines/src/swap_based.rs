@@ -77,8 +77,11 @@ pub fn run(
         // Swap any non-local needed qubit with a local victim that is not
         // itself needed (lowest victims first) — one all-to-all per group
         // at most, exactly like cusvaer's index-bit swap API.
-        let nonlocal: Vec<u32> =
-            need.iter().copied().filter(|&q| mapping[q as usize] >= l).collect();
+        let nonlocal: Vec<u32> = need
+            .iter()
+            .copied()
+            .filter(|&q| mapping[q as usize] >= l)
+            .collect();
         if !nonlocal.is_empty() {
             let needed_phys: Vec<bool> = {
                 let mut v = vec![false; n as usize];
@@ -87,20 +90,20 @@ pub fn run(
                 }
                 v
             };
-            let mut victims: Vec<u32> =
-                (0..l).filter(|&p| !needed_phys[p as usize]).collect();
+            let mut victims: Vec<u32> = (0..l).filter(|&p| !needed_phys[p as usize]).collect();
             victims.truncate(nonlocal.len());
             if victims.len() < nonlocal.len() {
-                return Err(format!("{}: group needs more than L local qubits", cfg.name));
+                return Err(format!(
+                    "{}: group needs more than L local qubits",
+                    cfg.name
+                ));
             }
             let mut perm_map: Vec<u32> = (0..n).collect();
             for (&q, &v) in nonlocal.iter().zip(&victims) {
                 let p = mapping[q as usize];
                 perm_map.swap(p as usize, v as usize);
                 // Update the logical map: whoever held `v` goes to `p`.
-                if let Some(other) =
-                    (0..n).find(|&x| mapping[x as usize] == v)
-                {
+                if let Some(other) = (0..n).find(|&x| mapping[x as usize] == v) {
                     mapping[other as usize] = p;
                 }
                 mapping[q as usize] = v;
@@ -119,8 +122,7 @@ pub fn run(
                 .iter()
                 .map(|&gi| {
                     let g = circuit.gates()[gi];
-                    let remapped: Vec<u32> =
-                        g.qubits.iter().map(|q| mapping[q as usize]).collect();
+                    let remapped: Vec<u32> = g.qubits.iter().map(|q| mapping[q as usize]).collect();
                     Gate::new(g.kind, &remapped)
                 })
                 .collect();
@@ -147,7 +149,10 @@ pub fn run(
     } else {
         None
     };
-    Ok(BaselineOutput { report: machine.report(), state })
+    Ok(BaselineOutput {
+        report: machine.report(),
+        state,
+    })
 }
 
 #[cfg(test)]
@@ -158,7 +163,11 @@ mod tests {
 
     #[test]
     fn swap_based_matches_reference() {
-        let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 6 };
+        let spec = MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 6,
+        };
         for fam in [Family::Qft, Family::Ghz, Family::Su2Random, Family::WState] {
             let c = fam.generate(9);
             let out = crate::cuquantum(&c, spec, CostModel::default(), false).unwrap();
@@ -171,7 +180,11 @@ mod tests {
 
     #[test]
     fn qiskit_like_matches_reference_and_is_slower() {
-        let spec = MachineSpec { nodes: 1, gpus_per_node: 4, local_qubits: 7 };
+        let spec = MachineSpec {
+            nodes: 1,
+            gpus_per_node: 4,
+            local_qubits: 7,
+        };
         let c = Family::Qft.generate(9);
         let q = crate::qiskit(&c, spec, CostModel::default(), false).unwrap();
         let cu = crate::cuquantum(&c, spec, CostModel::default(), false).unwrap();
@@ -190,9 +203,7 @@ mod tests {
         let total: usize = groups.iter().map(|g| g.len()).sum();
         assert_eq!(total, c.num_gates());
         for g in &groups {
-            let mask = g
-                .iter()
-                .fold(0u64, |m, &gi| m | c.gates()[gi].qubit_mask());
+            let mask = g.iter().fold(0u64, |m, &gi| m | c.gates()[gi].qubit_mask());
             assert!(mask.count_ones() <= 5);
         }
     }

@@ -22,7 +22,11 @@ fn model_time(circuit: &atlas_circuit::Circuit, spec: MachineSpec, cfg: &AtlasCo
 }
 
 fn main() {
-    let spec = MachineSpec { nodes: 8, gpus_per_node: 4, local_qubits: 22 };
+    let spec = MachineSpec {
+        nodes: 8,
+        gpus_per_node: 4,
+        local_qubits: 22,
+    };
     let n = 27; // 32 GPUs → G=3, R=2
     let circuits: Vec<_> = families().iter().map(|f| f.generate(n)).collect();
 
@@ -30,16 +34,44 @@ fn main() {
     println!("{:<34} {:>12}", "configuration", "time (s)");
     let mut rows = Vec::new();
     let combos: [(&str, StagingAlgo, KernelAlgo); 6] = [
-        ("ILP staging + DP kernels (Atlas)", StagingAlgo::IlpSearch, KernelAlgo::Dp),
-        ("ILP staging + hybrid greedy", StagingAlgo::IlpSearch, KernelAlgo::GreedyHybrid(6)),
-        ("ILP staging + fusion greedy(5)", StagingAlgo::IlpSearch, KernelAlgo::Greedy(5)),
-        ("ILP staging + ordered DP", StagingAlgo::IlpSearch, KernelAlgo::Ordered),
-        ("SnuQS staging + DP kernels", StagingAlgo::Snuqs, KernelAlgo::Dp),
-        ("SnuQS staging + hybrid greedy", StagingAlgo::Snuqs, KernelAlgo::GreedyHybrid(6)),
+        (
+            "ILP staging + DP kernels (Atlas)",
+            StagingAlgo::IlpSearch,
+            KernelAlgo::Dp,
+        ),
+        (
+            "ILP staging + hybrid greedy",
+            StagingAlgo::IlpSearch,
+            KernelAlgo::GreedyHybrid(6),
+        ),
+        (
+            "ILP staging + fusion greedy(5)",
+            StagingAlgo::IlpSearch,
+            KernelAlgo::Greedy(5),
+        ),
+        (
+            "ILP staging + ordered DP",
+            StagingAlgo::IlpSearch,
+            KernelAlgo::Ordered,
+        ),
+        (
+            "SnuQS staging + DP kernels",
+            StagingAlgo::Snuqs,
+            KernelAlgo::Dp,
+        ),
+        (
+            "SnuQS staging + hybrid greedy",
+            StagingAlgo::Snuqs,
+            KernelAlgo::GreedyHybrid(6),
+        ),
     ];
     let mut atlas_time = 0.0;
     for (name, st, ka) in combos {
-        let cfg = AtlasConfig { staging: st, kernelizer: ka, ..Default::default() };
+        let cfg = AtlasConfig {
+            staging: st,
+            kernelizer: ka,
+            ..Default::default()
+        };
         let times: Vec<f64> = circuits.iter().map(|c| model_time(c, spec, &cfg)).collect();
         let g = geomean(&times);
         if atlas_time == 0.0 {
@@ -52,7 +84,10 @@ fn main() {
     section("Ablation 3: inter-node cost factor c in Eq. 2");
     println!("{:<8} {:>14} {:>18}", "c", "time (s)", "staging cost");
     for c_factor in [0i64, 1, 3, 10] {
-        let cfg = AtlasConfig { inter_node_cost_factor: c_factor, ..Default::default() };
+        let cfg = AtlasConfig {
+            inter_node_cost_factor: c_factor,
+            ..Default::default()
+        };
         let mut times = Vec::new();
         let mut costs = Vec::new();
         for c in &circuits {
@@ -60,7 +95,11 @@ fn main() {
             times.push(out.report.total_secs);
             costs.push(out.plan.staging_cost as f64 + 1.0);
         }
-        println!("{c_factor:<8} {:>14.4} {:>18.2}", geomean(&times), geomean(&costs) - 1.0);
+        println!(
+            "{c_factor:<8} {:>14.4} {:>18.2}",
+            geomean(&times),
+            geomean(&costs) - 1.0
+        );
         rows.push(format!("c={c_factor},{}", geomean(&times)));
     }
     println!("(the paper fixes c = 3; the sweep shows the choice is stable)");

@@ -17,7 +17,10 @@ fn kgates(c: &Circuit) -> Vec<KGate> {
     let cm = CostModel::default();
     c.gates()
         .iter()
-        .map(|g| KGate { mask: g.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(g) })
+        .map(|g| KGate {
+            mask: g.qubit_mask(),
+            shm_ns: cm.shm_gate_unit_ns(g),
+        })
         .collect()
 }
 
@@ -106,7 +109,11 @@ fn main() {
     println!("(cost columns show the largest size; `rel` is the per-family geomean)");
 
     section("Figure 25 & 37: hhl case study (gates >> qubits)");
-    let hhl_sizes: &[u32] = if full_grid() { &[4, 7, 9, 10] } else { &[4, 7, 9] };
+    let hhl_sizes: &[u32] = if full_grid() {
+        &[4, 7, 9, 10]
+    } else {
+        &[4, 7, 9]
+    };
     println!(
         "{:>3} {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9}",
         "nq", "gates", "atlas", "naive", "greedy", "t_atlas", "t_naive"

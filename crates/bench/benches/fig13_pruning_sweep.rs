@@ -16,15 +16,21 @@ fn kgates(c: &Circuit) -> Vec<KGate> {
     let cm = CostModel::default();
     c.gates()
         .iter()
-        .map(|g| KGate { mask: g.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(g) })
+        .map(|g| KGate {
+            mask: g.qubit_mask(),
+            shm_ns: cm.shm_gate_unit_ns(g),
+        })
         .collect()
 }
 
 fn main() {
     section("Figure 13: pruning threshold T — relative cost vs preprocessing time");
     let kc = KernelCost::from_machine(&CostModel::default());
-    let thresholds: &[usize] =
-        if full_grid() { &[4, 10, 20, 50, 100, 200, 500, 1000, 2000, 4000] } else { &[4, 20, 100, 500, 1000] };
+    let thresholds: &[usize] = if full_grid() {
+        &[4, 10, 20, 50, 100, 200, 500, 1000, 2000, 4000]
+    } else {
+        &[4, 20, 100, 500, 1000]
+    };
     // One representative size per family by default (the paper uses all
     // 99 circuits; ATLAS_BENCH_FULL=1 uses the whole Table I grid).
     let sizes: Vec<u32> = if full_grid() { size_range() } else { vec![30] };
@@ -49,7 +55,12 @@ fn main() {
         "{:>6} {:>14} {:>16}",
         "T", "rel geomean", "mean preproc (s)"
     );
-    println!("{:>6} {:>14.4} {:>16.4}   <- Atlas-Naive (Alg. 5)", "-", geomean(&naive_rel), naive_time);
+    println!(
+        "{:>6} {:>14.4} {:>16.4}   <- Atlas-Naive (Alg. 5)",
+        "-",
+        geomean(&naive_rel),
+        naive_time
+    );
 
     let mut rows = Vec::new();
     let mut prev_cost = f64::INFINITY;

@@ -20,8 +20,10 @@ fn main() {
 
     section("Figure 5: weak scaling, simulation model time (seconds)");
     // Per (family, #GPUs): Atlas / HyQuas / cuQuantum / Qiskit.
-    let mut per_gpu_breakdown: Vec<(usize, Vec<f64>, Vec<f64>)> =
-        ladder.iter().map(|&(g, _, _)| (g, Vec::new(), Vec::new())).collect();
+    let mut per_gpu_breakdown: Vec<(usize, Vec<f64>, Vec<f64>)> = ladder
+        .iter()
+        .map(|&(g, _, _)| (g, Vec::new(), Vec::new()))
+        .collect();
     let mut speedups_all: Vec<f64> = Vec::new();
 
     for fam in families() {
@@ -67,7 +69,10 @@ fn main() {
     );
 
     section("Figure 6: Atlas simulation-time breakdown (average over families)");
-    println!("{:>5} {:>12} {:>12} {:>8}", "gpus", "total(ms)", "comm(ms)", "comm%");
+    println!(
+        "{:>5} {:>12} {:>12} {:>8}",
+        "gpus", "total(ms)", "comm(ms)", "comm%"
+    );
     let mut rows6 = Vec::new();
     for (gpus, comms, totals) in &per_gpu_breakdown {
         let avg_total: f64 = totals.iter().sum::<f64>() / totals.len() as f64;
@@ -89,7 +94,11 @@ fn main() {
     ) {
         println!("\nwrote {p}");
     }
-    if let Some(p) = write_csv("fig6_breakdown", "gpus,avg_total_s,avg_comm_s,comm_pct", &rows6) {
+    if let Some(p) = write_csv(
+        "fig6_breakdown",
+        "gpus,avg_total_s,avg_comm_s,comm_pct",
+        &rows6,
+    ) {
         println!("wrote {p}");
     }
 }

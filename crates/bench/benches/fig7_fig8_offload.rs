@@ -28,7 +28,10 @@ fn main() {
             .expect("qdao")
             .report
             .total_secs;
-        println!("{n:>3} {t_atlas:>10.3} {t_qdao:>10.3} {:>8.0}x", t_qdao / t_atlas);
+        println!(
+            "{n:>3} {t_atlas:>10.3} {t_qdao:>10.3} {:>8.0}x",
+            t_qdao / t_atlas
+        );
         rows.push(format!("{n},{t_atlas},{t_qdao}"));
     }
     println!("(paper: 6x at 28 qubits growing to 105x at 32; shape target = widening gap)");
@@ -41,7 +44,11 @@ fn main() {
     let circuit = Family::Qft.generate(32);
     let mut rows8 = Vec::new();
     for gpus in [1usize, 2, 4] {
-        let spec = MachineSpec { nodes: 1, gpus_per_node: gpus, local_qubits: 28 };
+        let spec = MachineSpec {
+            nodes: 1,
+            gpus_per_node: gpus,
+            local_qubits: 28,
+        };
         let t_atlas = atlas_core::simulate(&circuit, spec, cost.clone(), &cfg, true)
             .expect("atlas")
             .report

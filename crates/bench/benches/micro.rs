@@ -33,7 +33,9 @@ fn dense_state() -> StateVector {
 fn bench_statevec(c: &mut Criterion) {
     let base = dense_state();
     let mut g = c.benchmark_group("statevec");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
     g.bench_function("apply_1q_h", |b| {
         b.iter_batched_ref(
             || base.clone(),
@@ -69,9 +71,7 @@ fn bench_statevec(c: &mut Criterion) {
         g.bench_function(format!("fused_apply_k{k}"), |b| {
             b.iter_batched_ref(
                 || base.clone(),
-                |sv| {
-                    atlas_statevec::apply_matrix(sv.amplitudes_mut(), &qubits, black_box(&fused))
-                },
+                |sv| atlas_statevec::apply_matrix(sv.amplitudes_mut(), &qubits, black_box(&fused)),
                 BatchSize::LargeInput,
             )
         });
@@ -107,8 +107,14 @@ fn bench_statevec(c: &mut Criterion) {
 fn bench_machine(c: &mut Criterion) {
     use atlas_machine::{Machine, MachineSpec};
     let mut g = c.benchmark_group("machine");
-    g.sample_size(20).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
-    let spec = MachineSpec { nodes: 4, gpus_per_node: 2, local_qubits: 12 };
+    g.sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300));
+    let spec = MachineSpec {
+        nodes: 4,
+        gpus_per_node: 2,
+        local_qubits: 12,
+    };
     let state = dense_state(); // 18 qubits → 64 shards
     g.bench_function("all_to_all_permute_18q", |b| {
         let mut map: Vec<u32> = (0..N).collect();
@@ -131,7 +137,9 @@ fn bench_machine(c: &mut Criterion) {
 
 fn bench_planner(c: &mut Criterion) {
     let mut g = c.benchmark_group("planner");
-    g.sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300));
     let kc = KernelCost::from_machine(&CostModel::default());
     let cm = CostModel::default();
     for (fam, n) in [(Family::Qft, 28u32), (Family::Ising, 28)] {
@@ -139,7 +147,10 @@ fn bench_planner(c: &mut Criterion) {
         let gates: Vec<KGate> = circ
             .gates()
             .iter()
-            .map(|gate| KGate { mask: gate.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(gate) })
+            .map(|gate| KGate {
+                mask: gate.qubit_mask(),
+                shm_ns: cm.shm_gate_unit_ns(gate),
+            })
             .collect();
         g.bench_function(format!("kernelize_dp_{}_{n}", fam.name()), |b| {
             b.iter(|| kernelize::kernelize(black_box(&gates), &kc, 500))
@@ -152,8 +163,10 @@ fn bench_planner(c: &mut Criterion) {
     });
     let small = Family::Qft.generate(10);
     g.bench_function("staging_generic_ilp_qft_10_L6", |b| {
-        let mut icfg = AtlasConfig::default();
-        icfg.staging = atlas_core::config::StagingAlgo::GenericIlp;
+        let icfg = AtlasConfig {
+            staging: atlas_core::config::StagingAlgo::GenericIlp,
+            ..AtlasConfig::default()
+        };
         b.iter(|| atlas_core::staging::stage_circuit(black_box(&small), 6, 1, &icfg).unwrap())
     });
     g.finish();

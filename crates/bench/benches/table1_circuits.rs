@@ -17,8 +17,14 @@ const TABLE1: &[(&str, [usize; 9])] = &[
     ("qft", [406, 435, 465, 496, 528, 561, 595, 630, 666]),
     ("qpeexact", [432, 463, 493, 524, 559, 593, 628, 664, 701]),
     ("qsvm", [274, 284, 294, 304, 314, 324, 334, 344, 354]),
-    ("su2random", [1246, 1334, 1425, 1519, 1616, 1716, 1819, 1925, 2034]),
-    ("vqc", [1873, 1998, 2127, 2260, 2397, 2538, 2683, 2832, 2985]),
+    (
+        "su2random",
+        [1246, 1334, 1425, 1519, 1616, 1716, 1819, 1925, 2034],
+    ),
+    (
+        "vqc",
+        [1873, 1998, 2127, 2260, 2397, 2538, 2683, 2832, 2985],
+    ),
     ("wstate", [109, 113, 117, 121, 125, 129, 133, 137, 141]),
 ];
 
@@ -47,7 +53,10 @@ fn main() {
     println!("worst deviation from the paper's counts: {worst_dev:.2}%");
 
     section("Table II: number of gates in the hhl circuit");
-    println!("{:>8} {:>10} {:>10} {:>7}", "qubits", "paper", "ours", "dev%");
+    println!(
+        "{:>8} {:>10} {:>10} {:>7}",
+        "qubits", "paper", "ours", "dev%"
+    );
     for &(nq, paper) in TABLE2 {
         let ours = hhl(nq).num_gates();
         let dev = 100.0 * (ours as f64 - paper as f64).abs() / paper as f64;

@@ -17,7 +17,9 @@ use std::io::Write as _;
 
 /// `true` when the full paper grid was requested.
 pub fn full_grid() -> bool {
-    std::env::var("ATLAS_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ATLAS_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Geometric mean.
@@ -42,7 +44,11 @@ pub fn weak_scaling_ladder(local_qubits: u32) -> Vec<(usize, MachineSpec, u32)> 
         .map(|&gpus| {
             let gpus_per_node = gpus.min(4);
             let nodes = gpus / gpus_per_node;
-            let spec = MachineSpec { nodes, gpus_per_node, local_qubits };
+            let spec = MachineSpec {
+                nodes,
+                gpus_per_node,
+                local_qubits,
+            };
             let n = local_qubits + (gpus.trailing_zeros());
             (gpus, spec, n)
         })

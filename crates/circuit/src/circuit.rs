@@ -19,8 +19,12 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit over `n` qubits.
     pub fn new(n: u32) -> Self {
-        assert!(n >= 1 && n <= 63, "supported qubit range is 1..=63");
-        Circuit { n, gates: Vec::new(), name: String::new() }
+        assert!((1..=63).contains(&n), "supported qubit range is 1..=63");
+        Circuit {
+            n,
+            gates: Vec::new(),
+            name: String::new(),
+        }
     }
 
     /// Creates an empty named circuit (name is carried through reports).
@@ -151,7 +155,13 @@ impl Circuit {
         let mut qubit_depth = vec![0usize; self.n as usize];
         let mut max = 0;
         for g in &self.gates {
-            let d = g.qubits.iter().map(|q| qubit_depth[q as usize]).max().unwrap_or(0) + 1;
+            let d = g
+                .qubits
+                .iter()
+                .map(|q| qubit_depth[q as usize])
+                .max()
+                .unwrap_or(0)
+                + 1;
             for q in g.qubits.iter() {
                 qubit_depth[q as usize] = d;
             }

@@ -169,11 +169,7 @@ impl GateKind {
                     vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, t],
                 )
             }
-            SX => Matrix::from_reim(
-                2,
-                2,
-                &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)],
-            ),
+            SX => Matrix::from_reim(2, 2, &[(0.5, 0.5), (0.5, -0.5), (0.5, -0.5), (0.5, 0.5)]),
             RX(t) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
                 Matrix::from_reim(2, 2, &[(c, 0.0), (0.0, -sn), (0.0, -sn), (c, 0.0)])
@@ -190,7 +186,12 @@ impl GateKind {
             P(l) => Matrix::from_rows(
                 2,
                 2,
-                vec![Complex64::ONE, Complex64::ZERO, Complex64::ZERO, Complex64::cis(l)],
+                vec![
+                    Complex64::ONE,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::cis(l),
+                ],
             ),
             U3(t, phi, lam) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
@@ -311,7 +312,10 @@ impl Qubits {
         }
         let mut buf = [0u32; 4];
         buf[..qs.len()].copy_from_slice(qs);
-        Qubits { buf, len: qs.len() as u8 }
+        Qubits {
+            buf,
+            len: qs.len() as u8,
+        }
     }
 
     /// Number of qubits.
@@ -381,8 +385,16 @@ pub struct Gate {
 impl Gate {
     /// Creates a gate, checking arity.
     pub fn new(kind: GateKind, qubits: &[u32]) -> Self {
-        assert_eq!(kind.arity(), qubits.len(), "wrong qubit count for {:?}", kind);
-        Gate { kind, qubits: Qubits::new(qubits) }
+        assert_eq!(
+            kind.arity(),
+            qubits.len(),
+            "wrong qubit count for {:?}",
+            kind
+        );
+        Gate {
+            kind,
+            qubits: Qubits::new(qubits),
+        }
     }
 
     /// The gate's full unitary (see [`GateKind::matrix`] for conventions).
@@ -409,7 +421,9 @@ impl fmt::Display for Gate {
         if params.is_empty() {
             write!(f, "{}", self.kind.name())?;
         } else {
-            let ps: Vec<String> = params.iter().map(|p| format!("{p:.12}")).collect();
+            // `{:?}` prints the shortest string that parses back to the
+            // same f64, so QASM round-trips are bit-exact.
+            let ps: Vec<String> = params.iter().map(|p| format!("{p:?}")).collect();
             write!(f, "{}({})", self.kind.name(), ps.join(","))?;
         }
         let qs: Vec<String> = self.qubits.iter().map(|q| format!("q[{q}]")).collect();

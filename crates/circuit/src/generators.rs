@@ -49,7 +49,9 @@ impl Family {
     /// The 11 Table I families, in the paper's order.
     pub fn table1() -> [Family; 11] {
         use Family::*;
-        [Ae, Dj, Ghz, GraphState, Ising, Qft, QpeExact, Qsvm, Su2Random, Vqc, WState]
+        [
+            Ae, Dj, Ghz, GraphState, Ising, Qft, QpeExact, Qsvm, Su2Random, Vqc, WState,
+        ]
     }
 
     /// Lowercase name as used in the paper's figures.
@@ -371,6 +373,107 @@ pub fn ae(n: u32) -> Circuit {
     c
 }
 
+/// QAOA for MaxCut on an `n`-node ring graph, depth `p = 2`, with seeded
+/// angles. See [`qaoa_layers`] for the layer structure.
+pub fn qaoa(n: u32) -> Circuit {
+    qaoa_layers(n, 2)
+}
+
+/// QAOA for MaxCut on an `n`-node ring graph with `p` alternating
+/// cost/mixer layers: per layer, `RZZ(2γ)` on every ring edge then
+/// `RX(2β)` on every qubit, with seeded `(γ, β)`. Exactly `n + 2pn`
+/// gates.
+pub fn qaoa_layers(n: u32, p: u32) -> Circuit {
+    assert!(n >= 3, "ring graph needs at least 3 nodes");
+    let mut rng = seeded_rng("qaoa", n);
+    let mut c = Circuit::named(n, format!("qaoa_{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..p {
+        let gamma = rng.random_range(0.0..TAU);
+        let beta = rng.random_range(0.0..TAU);
+        for a in 0..n {
+            c.add(GateKind::RZZ(2.0 * gamma), &[a, (a + 1) % n]);
+        }
+        for q in 0..n {
+            c.rx(2.0 * beta, q);
+        }
+    }
+    c
+}
+
+/// Grover search over `n` total qubits: the largest data register `d`
+/// whose multi-controlled-Z fits in `n` (a Toffoli V-chain needs `d - 2`
+/// ancillas for `d ≥ 4`; `d ≤ 3` uses CZ/CCZ directly), a seeded marked
+/// item, and `⌊π/4·√2^d⌋` amplification rounds. Leftover qubits idle in
+/// `|0⟩`, which exercises the planner's insular-qubit handling.
+pub fn grover(n: u32) -> Circuit {
+    assert!(n >= 2, "grover needs at least 2 qubits");
+    // Largest d with d + ancillas(d) ≤ n, where ancillas(d) = max(d-2, 0)
+    // for d ≥ 4 and 0 otherwise.
+    let d = if n < 6 { n.min(3) } else { (n + 2) / 2 };
+    let mut rng = seeded_rng("grover", n);
+    let target = rng.random_range(0..1u64 << d);
+    let mut c = Circuit::named(n, format!("grover_{n}"));
+
+    // Z controlled on all `d` data qubits, V-chained through the ancillas.
+    let append_mcz = |c: &mut Circuit| match d {
+        1 => {
+            c.z(0);
+        }
+        2 => {
+            c.cz(0, 1);
+        }
+        3 => {
+            c.add(GateKind::CCZ, &[0, 1, 2]);
+        }
+        _ => {
+            let anc = d; // ancillas live at d, d+1, ..., 2d-3
+            c.add(GateKind::CCX, &[0, 1, anc]);
+            for i in 2..d - 1 {
+                c.add(GateKind::CCX, &[i, anc + i - 2, anc + i - 1]);
+            }
+            c.cz(anc + d - 3, d - 1);
+            for i in (2..d - 1).rev() {
+                c.add(GateKind::CCX, &[i, anc + i - 2, anc + i - 1]);
+            }
+            c.add(GateKind::CCX, &[0, 1, anc]);
+        }
+    };
+
+    for q in 0..d {
+        c.h(q);
+    }
+    let iterations = ((PI / 4.0) * ((1u64 << d) as f64).sqrt()).floor().max(1.0) as usize;
+    for _ in 0..iterations {
+        // Oracle: X-conjugation turns the all-ones control into a control
+        // on the target bit pattern.
+        for q in 0..d {
+            if target >> q & 1 == 0 {
+                c.x(q);
+            }
+        }
+        append_mcz(&mut c);
+        for q in 0..d {
+            if target >> q & 1 == 0 {
+                c.x(q);
+            }
+        }
+        // Diffusion about the mean.
+        for q in 0..d {
+            c.h(q);
+            c.x(q);
+        }
+        append_mcz(&mut c);
+        for q in 0..d {
+            c.x(q);
+            c.h(q);
+        }
+    }
+    c
+}
+
 /// HHL circuit in the NWQBench style. `nq` is the *logical* size (4, 7, 9,
 /// or 10 in Table II); the returned circuit is padded to
 /// `max(nq, pad_to)` = 28 qubits as in the paper's case study.
@@ -392,6 +495,7 @@ pub fn hhl_padded(nq: u32, pad_to: u32) -> Circuit {
     let clock = nq - 2; // q1..=clock are clock qubits
     let b = 0u32; // solution register
     let anc = nq - 1; // rotation ancilla
+
     // Trotter repetition multiplier per size — reproduces NWQBench's
     // exponential blow-up of unrolled controlled-evolutions (Table II).
     let m: u32 = match nq {
@@ -446,8 +550,14 @@ mod tests {
         ("qft", [406, 435, 465, 496, 528, 561, 595, 630, 666]),
         ("qpeexact", [432, 463, 493, 524, 559, 593, 628, 664, 701]),
         ("qsvm", [274, 284, 294, 304, 314, 324, 334, 344, 354]),
-        ("su2random", [1246, 1334, 1425, 1519, 1616, 1716, 1819, 1925, 2034]),
-        ("vqc", [1873, 1998, 2127, 2260, 2397, 2538, 2683, 2832, 2985]),
+        (
+            "su2random",
+            [1246, 1334, 1425, 1519, 1616, 1716, 1819, 1925, 2034],
+        ),
+        (
+            "vqc",
+            [1873, 1998, 2127, 2260, 2397, 2538, 2683, 2832, 2985],
+        ),
         ("wstate", [109, 113, 117, 121, 125, 129, 133, 137, 141]),
     ];
 
@@ -476,8 +586,12 @@ mod tests {
     #[test]
     fn hhl_counts_match_table2_within_tolerance() {
         // Table II: 4 qubits → 80 gates; 7 → 689; 9 → 91,968; 10 → 186,795.
-        for (nq, expect, tol_pct) in [(4u32, 80usize, 50.0), (7, 689, 50.0), (9, 91968, 3.0), (10, 186795, 3.0)]
-        {
+        for (nq, expect, tol_pct) in [
+            (4u32, 80usize, 50.0),
+            (7, 689, 50.0),
+            (9, 91968, 3.0),
+            (10, 186795, 3.0),
+        ] {
             let c = hhl(nq);
             let got = c.num_gates();
             let err = 100.0 * (got as f64 - expect as f64).abs() / expect as f64;

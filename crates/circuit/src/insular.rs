@@ -84,7 +84,9 @@ pub fn classify_qubit(m: &Matrix, t: u32) -> InsularKind {
 /// `gate.qubits[i]`.
 pub fn gate_insularity(gate: &Gate) -> Vec<InsularKind> {
     let m = gate.matrix();
-    (0..gate.arity() as u32).map(|t| classify_qubit(&m, t)).collect()
+    (0..gate.arity() as u32)
+        .map(|t| classify_qubit(&m, t))
+        .collect()
 }
 
 /// Bitmask over *circuit* qubits of the gate's non-insular qubits — the
@@ -145,12 +147,14 @@ pub struct ReducedGate {
 /// Returns `None` if the position is not insular.
 pub fn fix_qubit(m: &Matrix, t: u32, b: u8) -> Option<ReducedGate> {
     match classify_qubit(m, t) {
-        InsularKind::Diagonal => {
-            Some(ReducedGate { matrix: qubit_block(m, t, b, b), out_value: b })
-        }
-        InsularKind::AntiDiagonal => {
-            Some(ReducedGate { matrix: qubit_block(m, t, 1 - b, b), out_value: 1 - b })
-        }
+        InsularKind::Diagonal => Some(ReducedGate {
+            matrix: qubit_block(m, t, b, b),
+            out_value: b,
+        }),
+        InsularKind::AntiDiagonal => Some(ReducedGate {
+            matrix: qubit_block(m, t, 1 - b, b),
+            out_value: 1 - b,
+        }),
         InsularKind::NonInsular => None,
     }
 }

@@ -40,6 +40,10 @@ pub struct AtlasConfig {
     /// sets 500.
     pub pruning_threshold: usize,
     /// Maximum number of stages Algorithm 2 will try before giving up.
+    /// Deep circuits genuinely need many stages — a 20-qubit Grover's
+    /// repeated multi-controlled-Z sweeps demand one or two per
+    /// amplification round — so this is a runaway bound, not a typical
+    /// operating point.
     pub max_stages: usize,
     /// Node budget for the generic ILP solver per `s` attempt.
     pub ilp_node_limit: u64,
@@ -63,7 +67,7 @@ impl Default for AtlasConfig {
         AtlasConfig {
             inter_node_cost_factor: 3,
             pruning_threshold: 500,
-            max_stages: 64,
+            max_stages: 512,
             ilp_node_limit: 2_000_000,
             ilp_time_limit: Duration::from_secs(20),
             staging_beam_width: 64,
@@ -79,7 +83,10 @@ impl AtlasConfig {
     /// affordable and a final unpermute so amplitudes are directly
     /// comparable to the reference simulator.
     pub fn for_validation() -> Self {
-        AtlasConfig { final_unpermute: true, ..Default::default() }
+        AtlasConfig {
+            final_unpermute: true,
+            ..Default::default()
+        }
     }
 
     /// HyQuas-style configuration: SnuQS-like greedy staging plus greedy

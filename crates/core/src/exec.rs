@@ -112,8 +112,7 @@ fn build_mapping(
 ) -> Vec<u32> {
     let r = n - l - g;
     let ranges = [(0u32, l), (l, l + r), (l + r, n)];
-    let classes: [&[u32]; 3] =
-        [&partition.local, &partition.regional, &partition.global];
+    let classes: [&[u32]; 3] = [&partition.local, &partition.regional, &partition.global];
     let mut mapping = vec![u32::MAX; n as usize];
     let mut used = vec![false; n as usize];
     // First pass: keep stable positions.
@@ -174,14 +173,21 @@ fn compile_stage(
                     ins[t].is_insular(),
                     "staging must keep non-insular qubits local (gate {gi})"
                 );
-                reads.push(ReadBit { pos: t as u32, phys: p, flip_snap: flips >> p & 1 == 1 });
+                reads.push(ReadBit {
+                    pos: t as u32,
+                    phys: p,
+                    flip_snap: flips >> p & 1 == 1,
+                });
                 if ins[t] == insular::InsularKind::AntiDiagonal {
                     flip_mask |= 1u64 << p;
                 }
             }
         }
         if local_phys.is_empty() {
-            scalars.push(ScalarTemplate { circuit_gate: gi, reads });
+            scalars.push(ScalarTemplate {
+                circuit_gate: gi,
+                reads,
+            });
         } else {
             debug_assert_eq!(flip_mask, 0, "mixed gates never flip non-local bits");
             templates.push(GateTemplate {
@@ -201,9 +207,19 @@ fn compile_stage(
             shm_ns: t.shm_ns,
         })
         .collect();
-    let Kernelization { kernels, cost: kernel_cost } =
-        kernelize::kernelize_with(cfg.kernelizer, cfg.pruning_threshold, &kgates, kc);
-    StagePlan { stage, mapping, templates, scalars, flips, kernels, kernel_cost }
+    let Kernelization {
+        kernels,
+        cost: kernel_cost,
+    } = kernelize::kernelize_with(cfg.kernelizer, cfg.pruning_threshold, &kgates, kc);
+    StagePlan {
+        stage,
+        mapping,
+        templates,
+        scalars,
+        flips,
+        kernels,
+        kernel_cost,
+    }
 }
 
 /// PARTITION (Algorithm 1, lines 1–8): stage, map, reduce, kernelize.
@@ -214,8 +230,11 @@ pub fn plan(
     cost: &CostModel,
     cfg: &AtlasConfig,
 ) -> Result<FullPlan, String> {
-    let StagingOutcome { stages, cost: staging_cost, optimal } =
-        staging::stage_circuit(circuit, l, g, cfg)?;
+    let StagingOutcome {
+        stages,
+        cost: staging_cost,
+        optimal,
+    } = staging::stage_circuit(circuit, l, g, cfg)?;
     plan_from_stages(circuit, stages, staging_cost, optimal, l, g, cost, cfg)
 }
 
@@ -263,8 +282,7 @@ fn reduce_for_pattern(gate: &Gate, reads: &[ReadBit], shard_bits: u64, l: u32) -
     let mut m = gate.matrix();
     for rb in reads.iter().rev() {
         let b = ((shard_bits >> (rb.phys - l)) & 1) as u8 ^ u8::from(rb.flip_snap);
-        let reduced =
-            insular::fix_qubit(&m, rb.pos, b).expect("non-local qubit must be insular");
+        let reduced = insular::fix_qubit(&m, rb.pos, b).expect("non-local qubit must be insular");
         m = reduced.matrix;
     }
     m
@@ -372,9 +390,9 @@ fn execute_stage(
                         continue;
                     }
                     let key = kernel_pattern(sp, kernel, s as u64, l);
-                    let fused = cache.entry(key).or_insert_with(|| {
-                        build_fused(circuit, sp, kernel, s as u64, l)
-                    });
+                    let fused = cache
+                        .entry(key)
+                        .or_insert_with(|| build_fused(circuit, sp, kernel, s as u64, l));
                     // Fold the shard scalar into the first kernel for free.
                     if scalar_pending[s] {
                         let mut m = fused.clone();
@@ -387,8 +405,7 @@ fn execute_stage(
                 }
             }
             KernelKind::SharedMemory => {
-                let per_amp: f64 =
-                    kernel.gates.iter().map(|&t| sp.templates[t].shm_ns).sum();
+                let per_amp: f64 = kernel.gates.iter().map(|&t| sp.templates[t].shm_ns).sum();
                 let active = shm_active_set(&kernel.qubits, l);
                 for s in 0..num_shards {
                     if dry {
@@ -438,14 +455,19 @@ fn pattern_bits(reads: &[ReadBit], shard_bits: u64, l: u32) -> u64 {
 }
 
 /// Builds the fused matrix of a fusion kernel for one shard.
-fn build_fused(circuit: &Circuit, sp: &StagePlan, kernel: &Kernel, shard_bits: u64, l: u32) -> Matrix {
+fn build_fused(
+    circuit: &Circuit,
+    sp: &StagePlan,
+    kernel: &Kernel,
+    shard_bits: u64,
+    l: u32,
+) -> Matrix {
     let mut acc = Matrix::identity(1 << kernel.qubits.len());
     for &t in &kernel.gates {
         let tp = &sp.templates[t];
         let gate = &circuit.gates()[tp.circuit_gate];
         let m = reduce_for_pattern(gate, &tp.reads, shard_bits, l);
-        let expanded =
-            atlas_statevec::expand_to_kernel(&kernel.qubits, &tp.local_phys, &m);
+        let expanded = atlas_statevec::expand_to_kernel(&kernel.qubits, &tp.local_phys, &m);
         acc = &expanded * &acc;
     }
     acc
@@ -454,7 +476,7 @@ fn build_fused(circuit: &Circuit, sp: &StagePlan, kernel: &Kernel, shard_bits: u
 fn scale_matrix(m: &mut Matrix, s: Complex64) {
     for r in 0..m.rows() {
         for c in 0..m.cols() {
-            m[(r, c)] = m[(r, c)] * s;
+            m[(r, c)] *= s;
         }
     }
 }

@@ -156,7 +156,11 @@ fn pack_open(ctx: &Ctx, open: &[OpenKernel]) -> Vec<(KernelKind, u64, f64, Vec<u
                 continue;
             }
             bin.1 = union;
-            bin.2 = if bin.2 == ALL && k.extq == ALL { ALL } else { ext_and(bin.2, k.extq) };
+            bin.2 = if bin.2 == ALL && k.extq == ALL {
+                ALL
+            } else {
+                ext_and(bin.2, k.extq)
+            };
             bin.3 += k.shm;
             bin.4.push(k.chain);
             placed = true;
@@ -166,7 +170,9 @@ fn pack_open(ctx: &Ctx, open: &[OpenKernel]) -> Vec<(KernelKind, u64, f64, Vec<u
             bins.push((k.kind, k.qubits, k.extq, k.shm, vec![k.chain]));
         }
     }
-    bins.into_iter().map(|(kind, q, _, s, chains)| (kind, q, s, chains)).collect()
+    bins.into_iter()
+        .map(|(kind, q, _, s, chains)| (kind, q, s, chains))
+        .collect()
 }
 
 #[inline]
@@ -212,18 +218,35 @@ fn canon_key(st: &State) -> Vec<u64> {
 /// Runs the DP. See module docs.
 pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelization {
     if gates.is_empty() {
-        return Kernelization { kernels: Vec::new(), cost: 0.0 };
+        return Kernelization {
+            kernels: Vec::new(),
+            cost: 0.0,
+        };
     }
-    let items = attach_single_qubit_gates(gates);
+    let items = attach_single_qubit_gates(gates, cost.max_fusion.max(cost.max_shm));
     let fusion_pack_size = (1..=cost.max_fusion)
         .min_by(|&a, &b| {
-            (cost.fusion(a) / a as f64).partial_cmp(&(cost.fusion(b) / b as f64)).unwrap()
+            (cost.fusion(a) / a as f64)
+                .partial_cmp(&(cost.fusion(b) / b as f64))
+                .unwrap()
         })
         .unwrap();
-    let mut ctx = Ctx { items: &items, cost, links: Vec::new(), closed: Vec::new(), fusion_pack_size };
+    let mut ctx = Ctx {
+        items: &items,
+        cost,
+        links: Vec::new(),
+        closed: Vec::new(),
+        fusion_pack_size,
+    };
 
-    let mut states: HashMap<Vec<u64>, State> =
-        HashMap::from([(Vec::new(), State { open: Vec::new(), closed_head: NONE, cost: 0.0 })]);
+    let mut states: HashMap<Vec<u64>, State> = HashMap::from([(
+        Vec::new(),
+        State {
+            open: Vec::new(),
+            closed_head: NONE,
+            cost: 0.0,
+        },
+    )]);
 
     for (i, item) in items.iter().enumerate() {
         let m = item.mask;
@@ -310,7 +333,10 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
                         for alt in &alts {
                             let ev_idx = alt.remap[ev];
                             // Option 1: leave — restrict below.
-                            grown.push(Alt { state: alt.state.clone(), remap: alt.remap.clone() });
+                            grown.push(Alt {
+                                state: alt.state.clone(),
+                                remap: alt.remap.clone(),
+                            });
                             // Option 2..: merge with another ALL-extq kernel.
                             for tgt in 0..alt.state.open.len() {
                                 if tgt == ev_idx {
@@ -343,7 +369,10 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
                                         *r -= 1;
                                     }
                                 }
-                                grown.push(Alt { state: s2, remap: remap2 });
+                                grown.push(Alt {
+                                    state: s2,
+                                    remap: remap2,
+                                });
                             }
                         }
                         alts = grown;
@@ -411,7 +440,11 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
     // Final selection + reconstruction.
     let best = states
         .values()
-        .min_by(|a, b| finalized_cost(&ctx, a).partial_cmp(&finalized_cost(&ctx, b)).unwrap())
+        .min_by(|a, b| {
+            finalized_cost(&ctx, a)
+                .partial_cmp(&finalized_cost(&ctx, b))
+                .unwrap()
+        })
         .expect("at least one DP state must survive")
         .clone();
     let total = finalized_cost(&ctx, &best);
@@ -427,7 +460,11 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
             .flat_map(|&it| ctx.items[it as usize].gates.iter().copied())
             .collect();
         gate_ids.sort_unstable();
-        kernels.push(Kernel { gates: gate_ids, kind, qubits: mask_to_qubits(qubits) });
+        kernels.push(Kernel {
+            gates: gate_ids,
+            kind,
+            qubits: mask_to_qubits(qubits),
+        });
     };
     let mut head = best.closed_head;
     while head != NONE {
@@ -439,7 +476,10 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
         emit(&ctx, kind, qubits, &chains);
     }
     let kernels = toposort_kernels(gates, kernels);
-    Kernelization { kernels, cost: total }
+    Kernelization {
+        kernels,
+        cost: total,
+    }
 }
 
 #[cfg(test)]
@@ -457,8 +497,38 @@ mod tests {
         fam.generate(n)
             .gates()
             .iter()
-            .map(|g| KGate { mask: g.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(g) })
+            .map(|g| KGate {
+                mask: g.qubit_mask(),
+                shm_ns: cm.shm_gate_unit_ns(g),
+            })
             .collect()
+    }
+
+    /// Regression: a Grover-style stage whose single-qubit gates sit on
+    /// qubits no multi-qubit host touches. Unbounded attachment inflated
+    /// one host item past every kernel capacity and the DP panicked with
+    /// "at least one DP state must survive" (seen via
+    /// `atlas-sim --family grover -n 20 --dry -L 16`).
+    #[test]
+    fn isolated_single_qubit_chains_do_not_overflow_attachment() {
+        let masks: [u64; 22] = [
+            0x1, 0x2, 0x4, 0x8, 0x10, 0x20, 0x40, 0x80, 0x100, 0x200, 0x400, 0x1, 0x2, 0x4, 0x8,
+            0x100, 0x400, 0x803, 0x1804, 0x3008, 0x6010, 0xc020,
+        ];
+        let gates: Vec<KGate> = masks
+            .iter()
+            .map(|&mask| KGate { mask, shm_ns: 1.0 })
+            .collect();
+        let out = run(&gates, &kc(), 500);
+        validate_cover(&gates, &out.kernels).unwrap();
+        let cap = kc().max_fusion.max(kc().max_shm);
+        for k in &out.kernels {
+            assert!(
+                k.qubits.len() as u32 <= cap,
+                "kernel exceeds capacity: {:?}",
+                k.qubits
+            );
+        }
     }
 
     #[test]
@@ -528,7 +598,10 @@ mod tests {
 
     #[test]
     fn single_gate() {
-        let gates = vec![KGate { mask: 0b11, shm_ns: 0.006 }];
+        let gates = vec![KGate {
+            mask: 0b11,
+            shm_ns: 0.006,
+        }];
         let out = run(&gates, &kc(), 500);
         assert_eq!(out.kernels.len(), 1);
         assert_eq!(out.kernels[0].gates, vec![0]);
@@ -551,12 +624,30 @@ mod regression_tests {
     fn attachment_counterexample_is_caught_by_certificate() {
         let shm = 0.006;
         let gates = vec![
-            KGate { mask: (1 << 4) | (1 << 6), shm_ns: shm }, // cx(4,6)
-            KGate { mask: (1 << 3) | (1 << 6), shm_ns: shm }, // cx(3,6)
-            KGate { mask: (1 << 6) | 1, shm_ns: 0.002 },      // rzz(6,0)
-            KGate { mask: 1 << 5, shm_ns: 0.004 },            // y(5)
-            KGate { mask: 1 | (1 << 3), shm_ns: shm },        // swap(0,3)
-            KGate { mask: (1 << 3) | (1 << 2), shm_ns: shm }, // swap(3,2)
+            KGate {
+                mask: (1 << 4) | (1 << 6),
+                shm_ns: shm,
+            }, // cx(4,6)
+            KGate {
+                mask: (1 << 3) | (1 << 6),
+                shm_ns: shm,
+            }, // cx(3,6)
+            KGate {
+                mask: (1 << 6) | 1,
+                shm_ns: 0.002,
+            }, // rzz(6,0)
+            KGate {
+                mask: 1 << 5,
+                shm_ns: 0.004,
+            }, // y(5)
+            KGate {
+                mask: 1 | (1 << 3),
+                shm_ns: shm,
+            }, // swap(0,3)
+            KGate {
+                mask: (1 << 3) | (1 << 2),
+                shm_ns: shm,
+            }, // swap(3,2)
         ];
         let kc = KernelCost::from_machine(&CostModel::default());
         let out = kernelize(&gates, &kc, 500);

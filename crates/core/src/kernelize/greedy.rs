@@ -46,7 +46,10 @@ pub fn run_hybrid(gates: &[KGate], cost: &KernelCost, max_qubits: u32) -> Kernel
         cur.push(j);
     }
     flush(&mut cur, &mut mask, &mut shm_sum, &mut total);
-    Kernelization { kernels, cost: total }
+    Kernelization {
+        kernels,
+        cost: total,
+    }
 }
 
 /// Runs the greedy packer.
@@ -74,7 +77,10 @@ pub fn run(gates: &[KGate], cost: &KernelCost, max_qubits: u32) -> Kernelization
         cur.push(j);
     }
     flush(&mut cur, &mut mask, &mut total);
-    Kernelization { kernels, cost: total }
+    Kernelization {
+        kernels,
+        cost: total,
+    }
 }
 
 #[cfg(test)]
@@ -87,8 +93,12 @@ mod tests {
 
     #[test]
     fn packs_up_to_limit() {
-        let gates: Vec<KGate> =
-            (0..10).map(|q| KGate { mask: 1 << q, shm_ns: 0.004 }).collect();
+        let gates: Vec<KGate> = (0..10)
+            .map(|q| KGate {
+                mask: 1 << q,
+                shm_ns: 0.004,
+            })
+            .collect();
         let out = run(&gates, &kc(), 5);
         assert_eq!(out.kernels.len(), 2);
         assert_eq!(out.kernels[0].qubits.len(), 5);
@@ -96,7 +106,12 @@ mod tests {
 
     #[test]
     fn repeated_qubits_pack_into_one() {
-        let gates: Vec<KGate> = (0..30).map(|i| KGate { mask: 0b11 << (i % 2), shm_ns: 0.004 }).collect();
+        let gates: Vec<KGate> = (0..30)
+            .map(|i| KGate {
+                mask: 0b11 << (i % 2),
+                shm_ns: 0.004,
+            })
+            .collect();
         let out = run(&gates, &kc(), 5);
         assert_eq!(out.kernels.len(), 1, "all gates fit in a 3-qubit kernel");
     }

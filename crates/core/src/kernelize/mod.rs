@@ -111,13 +111,24 @@ pub struct DpItem {
 
 /// Attaches single-qubit gates to adjacent multi-qubit gates (Appendix
 /// B-d), producing the DP item sequence.
-pub fn attach_single_qubit_gates(gates: &[KGate]) -> Vec<DpItem> {
+///
+/// `max_item_qubits` bounds each item's mask (the largest kernel any
+/// algorithm can build): an attachment that would push a host past the
+/// bound leaves the gate as its own standalone item instead. Without the
+/// bound, a stage whose single-qubit gates sit on qubits no host touches
+/// (e.g. Grover's data register between V-chain sweeps) inflates one
+/// host beyond every kernel capacity and the DP has no legal placement.
+pub fn attach_single_qubit_gates(gates: &[KGate], max_item_qubits: u32) -> Vec<DpItem> {
     let mut items: Vec<DpItem> = Vec::new();
     let mut host_positions: Vec<usize> = Vec::new(); // stage index per item
     for (j, g) in gates.iter().enumerate() {
         if g.mask.count_ones() >= 2 {
             host_positions.push(j);
-            items.push(DpItem { mask: g.mask, gates: vec![j], shm_ns: g.shm_ns });
+            items.push(DpItem {
+                mask: g.mask,
+                gates: vec![j],
+                shm_ns: g.shm_ns,
+            });
         }
     }
     if items.is_empty() {
@@ -125,9 +136,14 @@ pub fn attach_single_qubit_gates(gates: &[KGate]) -> Vec<DpItem> {
         return gates
             .iter()
             .enumerate()
-            .map(|(j, g)| DpItem { mask: g.mask, gates: vec![j], shm_ns: g.shm_ns })
+            .map(|(j, g)| DpItem {
+                mask: g.mask,
+                gates: vec![j],
+                shm_ns: g.shm_ns,
+            })
             .collect();
     }
+    let mut appended_fallback = false;
     // For each qubit, the items (hosts) touching it, in sequence order.
     let mut hosts_on_qubit: std::collections::HashMap<u32, Vec<usize>> = Default::default();
     for (it, &pos) in host_positions.iter().enumerate() {
@@ -154,9 +170,28 @@ pub fn attach_single_qubit_gates(gates: &[KGate]) -> Vec<DpItem> {
                 .min_by_key(|&it| host_positions[it].abs_diff(j))
                 .expect("items non-empty"),
         };
+        if (items[target].mask | g.mask).count_ones() > max_item_qubits {
+            // Attachment would overflow every kernel capacity; keep the
+            // gate standalone.
+            host_positions.push(j);
+            items.push(DpItem {
+                mask: g.mask,
+                gates: vec![j],
+                shm_ns: g.shm_ns,
+            });
+            appended_fallback = true;
+            continue;
+        }
         items[target].mask |= g.mask;
         items[target].gates.push(j);
         items[target].shm_ns += g.shm_ns;
+    }
+    if appended_fallback {
+        // Standalone fallbacks were appended out of order; restore
+        // program order (hosts were already ascending).
+        let mut keyed: Vec<(usize, DpItem)> = host_positions.into_iter().zip(items).collect();
+        keyed.sort_by_key(|&(pos, _)| pos);
+        items = keyed.into_iter().map(|(_, it)| it).collect();
     }
     for item in &mut items {
         item.gates.sort_unstable();
@@ -201,8 +236,10 @@ pub fn toposort_kernels(gates: &[KGate], mut kernels: Vec<Kernel>) -> Vec<Kernel
         indeg[b] += 1;
     }
     // Kahn's algorithm; ready kernels emitted by first-gate position.
-    let first_gate: Vec<usize> =
-        kernels.iter().map(|k| k.gates.first().copied().unwrap_or(usize::MAX)).collect();
+    let first_gate: Vec<usize> = kernels
+        .iter()
+        .map(|k| k.gates.first().copied().unwrap_or(usize::MAX))
+        .collect();
     let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(usize, usize)>> = (0..nk)
         .filter(|&k| indeg[k] == 0)
         .map(|k| std::cmp::Reverse((first_gate[k], k)))
@@ -217,9 +254,16 @@ pub fn toposort_kernels(gates: &[KGate], mut kernels: Vec<Kernel>) -> Vec<Kernel
             }
         }
     }
-    assert_eq!(order.len(), nk, "kernel dependency cycle — Constraint 1 violated");
+    assert_eq!(
+        order.len(),
+        nk,
+        "kernel dependency cycle — Constraint 1 violated"
+    );
     let mut taken: Vec<Option<Kernel>> = kernels.drain(..).map(Some).collect();
-    order.into_iter().map(|k| taken[k].take().expect("kernel emitted twice")).collect()
+    order
+        .into_iter()
+        .map(|k| taken[k].take().expect("kernel emitted twice"))
+        .collect()
 }
 
 /// Converts a qubit mask to an ascending qubit list.

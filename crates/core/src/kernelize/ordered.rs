@@ -23,7 +23,10 @@ fn segment_cost(cost: &KernelCost, qubits: u32, shm_sum: f64) -> Option<(KernelK
 pub fn run(gates: &[KGate], cost: &KernelCost) -> Kernelization {
     let n = gates.len();
     if n == 0 {
-        return Kernelization { kernels: Vec::new(), cost: 0.0 };
+        return Kernelization {
+            kernels: Vec::new(),
+            cost: 0.0,
+        };
     }
     let mut dp = vec![f64::INFINITY; n + 1];
     let mut choice: Vec<(usize, KernelKind)> = vec![(0, KernelKind::Fusion); n + 1];
@@ -60,7 +63,10 @@ pub fn run(gates: &[KGate], cost: &KernelCost) -> Kernelization {
         i = j;
     }
     kernels.reverse();
-    Kernelization { kernels, cost: dp[n] }
+    Kernelization {
+        kernels,
+        cost: dp[n],
+    }
 }
 
 #[cfg(test)]
@@ -72,7 +78,10 @@ mod tests {
     }
 
     fn g(mask: u64) -> KGate {
-        KGate { mask, shm_ns: 0.004 }
+        KGate {
+            mask,
+            shm_ns: 0.004,
+        }
     }
 
     #[test]
@@ -96,11 +105,12 @@ mod tests {
     #[test]
     fn matches_brute_force_on_small_inputs() {
         // Exhaustive segmentation of 8 gates: DP must equal the best.
-        let gates: Vec<KGate> =
-            [0b11u64, 0b110, 0b1001, 0b1, 0b11000, 0b100000, 0b110000, 0b1]
-                .iter()
-                .map(|&m| g(m))
-                .collect();
+        let gates: Vec<KGate> = [
+            0b11u64, 0b110, 0b1001, 0b1, 0b11000, 0b100000, 0b110000, 0b1,
+        ]
+        .iter()
+        .map(|&m| g(m))
+        .collect();
         let cost = kc();
         let n = gates.len();
         // Enumerate all 2^(n-1) segmentations via cut bitmasks.
@@ -129,7 +139,11 @@ mod tests {
             }
         }
         let out = run(&gates, &cost);
-        assert!((out.cost - best).abs() < 1e-12, "dp {} vs brute {best}", out.cost);
+        assert!(
+            (out.cost - best).abs() < 1e-12,
+            "dp {} vs brute {best}",
+            out.cost
+        );
     }
 
     #[test]

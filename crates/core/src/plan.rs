@@ -154,10 +154,18 @@ mod tests {
 
     #[test]
     fn partition_validation() {
-        let p = QubitPartition { local: vec![0, 2], regional: vec![1], global: vec![3] };
+        let p = QubitPartition {
+            local: vec![0, 2],
+            regional: vec![1],
+            global: vec![3],
+        };
         assert!(p.validate(4, 2, 1).is_ok());
         assert!(p.validate(4, 3, 1).is_err());
-        let dup = QubitPartition { local: vec![0, 0], regional: vec![1], global: vec![3] };
+        let dup = QubitPartition {
+            local: vec![0, 0],
+            regional: vec![1],
+            global: vec![3],
+        };
         assert!(dup.validate(4, 2, 1).is_err());
     }
 
@@ -165,11 +173,25 @@ mod tests {
     fn stage_validation_catches_nonlocal_gate() {
         let mut c = Circuit::new(3);
         c.h(0).h(2);
-        let p_ok = QubitPartition { local: vec![0, 2], regional: vec![1], global: vec![] };
-        let stage = Stage { gates: vec![0, 1], partition: p_ok };
-        assert!(validate_stages(&c, &[stage.clone()], 2, 0).is_ok());
-        let p_bad = QubitPartition { local: vec![0, 1], regional: vec![2], global: vec![] };
-        let bad = Stage { gates: vec![0, 1], partition: p_bad };
+        let p_ok = QubitPartition {
+            local: vec![0, 2],
+            regional: vec![1],
+            global: vec![],
+        };
+        let stage = Stage {
+            gates: vec![0, 1],
+            partition: p_ok,
+        };
+        assert!(validate_stages(&c, std::slice::from_ref(&stage), 2, 0).is_ok());
+        let p_bad = QubitPartition {
+            local: vec![0, 1],
+            regional: vec![2],
+            global: vec![],
+        };
+        let bad = Stage {
+            gates: vec![0, 1],
+            partition: p_bad,
+        };
         assert!(validate_stages(&c, &[bad], 2, 0).is_err());
     }
 
@@ -177,8 +199,15 @@ mod tests {
     fn stage_validation_catches_missing_gate() {
         let mut c = Circuit::new(2);
         c.h(0).h(1);
-        let p = QubitPartition { local: vec![0, 1], regional: vec![], global: vec![] };
-        let stage = Stage { gates: vec![0], partition: p };
+        let p = QubitPartition {
+            local: vec![0, 1],
+            regional: vec![],
+            global: vec![],
+        };
+        let stage = Stage {
+            gates: vec![0],
+            partition: p,
+        };
         assert!(validate_stages(&c, &[stage], 2, 0).is_err());
     }
 }

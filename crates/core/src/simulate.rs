@@ -41,7 +41,11 @@ pub fn simulate(
     exec::execute(&mut machine, circuit, &plan, cfg);
     let state = (!dry && cfg.final_unpermute).then(|| machine.gather_state());
     let report = machine.report();
-    Ok(SimulationOutput { plan, report, state })
+    Ok(SimulationOutput {
+        plan,
+        report,
+        state,
+    })
 }
 
 #[cfg(test)]
@@ -73,7 +77,11 @@ mod tests {
         // specialization and the all-to-alls.
         for fam in Family::table1() {
             let n = 9;
-            let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: n - 3 };
+            let spec = MachineSpec {
+                nodes: 2,
+                gpus_per_node: 2,
+                local_qubits: n - 3,
+            };
             check_family(fam, n, spec);
         }
     }
@@ -82,7 +90,11 @@ mod tests {
     fn qft_matches_on_many_small_shards() {
         // Aggressive split: L = 5 on an 10-qubit circuit → 32 shards,
         // multiple stages guaranteed.
-        let spec = MachineSpec { nodes: 4, gpus_per_node: 2, local_qubits: 5 };
+        let spec = MachineSpec {
+            nodes: 4,
+            gpus_per_node: 2,
+            local_qubits: 5,
+        };
         check_family(Family::Qft, 10, spec);
         check_family(Family::Su2Random, 10, spec);
         check_family(Family::WState, 10, spec);
@@ -91,7 +103,11 @@ mod tests {
     #[test]
     fn offloaded_execution_matches() {
         // More shards than GPUs: DRAM offload path.
-        let spec = MachineSpec { nodes: 1, gpus_per_node: 2, local_qubits: 5 };
+        let spec = MachineSpec {
+            nodes: 1,
+            gpus_per_node: 2,
+            local_qubits: 5,
+        };
         check_family(Family::Ae, 10, spec);
         check_family(Family::Ghz, 10, spec);
     }
@@ -105,10 +121,19 @@ mod tests {
     #[test]
     fn dry_run_produces_report_without_state() {
         let circuit = Family::Qft.generate(30);
-        let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 26 };
-        let out =
-            simulate(&circuit, spec, CostModel::default(), &AtlasConfig::default(), true)
-                .unwrap();
+        let spec = MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 26,
+        };
+        let out = simulate(
+            &circuit,
+            spec,
+            CostModel::default(),
+            &AtlasConfig::default(),
+            true,
+        )
+        .unwrap();
         assert!(out.state.is_none());
         assert!(out.report.total_secs > 0.0);
         assert!(out.report.kernels > 0);

@@ -8,7 +8,7 @@
 
 use super::prep::StagingProblem;
 use super::RawStaging;
-use atlas_ilp::{Model, SolveStatus, Solution, SolverConfig, VarId};
+use atlas_ilp::{Model, Solution, SolveStatus, SolverConfig, VarId};
 
 /// Variable handles of the built model.
 pub struct IlpVars {
@@ -29,12 +29,15 @@ pub fn build_ilp(p: &StagingProblem, s: usize) -> (Model, IlpVars) {
     let n = p.n as usize;
     let ng = p.items.len();
     let mut m = Model::new();
-    let a: Vec<Vec<VarId>> =
-        (0..s).map(|k| (0..n).map(|q| m.add_var(format!("A_{q}_{k}"))).collect()).collect();
-    let b: Vec<Vec<VarId>> =
-        (0..s).map(|k| (0..n).map(|q| m.add_var(format!("B_{q}_{k}"))).collect()).collect();
-    let f: Vec<Vec<VarId>> =
-        (0..s).map(|k| (0..ng).map(|g| m.add_var(format!("F_{g}_{k}"))).collect()).collect();
+    let a: Vec<Vec<VarId>> = (0..s)
+        .map(|k| (0..n).map(|q| m.add_var(format!("A_{q}_{k}"))).collect())
+        .collect();
+    let b: Vec<Vec<VarId>> = (0..s)
+        .map(|k| (0..n).map(|q| m.add_var(format!("B_{q}_{k}"))).collect())
+        .collect();
+    let f: Vec<Vec<VarId>> = (0..s)
+        .map(|k| (0..ng).map(|g| m.add_var(format!("F_{g}_{k}"))).collect())
+        .collect();
     let s_up: Vec<Vec<VarId>> = (0..s.saturating_sub(1))
         .map(|k| (0..n).map(|q| m.add_var(format!("S_{q}_{k}"))).collect())
         .collect();
@@ -71,9 +74,9 @@ pub fn build_ilp(p: &StagingProblem, s: usize) -> (Model, IlpVars) {
         }
     }
     for g in 0..ng {
-        for k in 0..s - 1 {
+        for fk in f.windows(2) {
             // (6): F[g,k] ≤ F[g,k+1]
-            m.le([(f[k][g], 1), (f[k + 1][g], -1)], 0);
+            m.le([(fk[0][g], 1), (fk[1][g], -1)], 0);
         }
         // (7): F[g,k] ≤ F[g,k-1] + A[q,k] per non-insular qubit q.
         let mut mask = p.items[g].mask;
@@ -102,7 +105,16 @@ pub fn build_ilp(p: &StagingProblem, s: usize) -> (Model, IlpVars) {
         m.eq((0..n).map(|q| (a[k][q], 1)), p.l as i64);
         m.eq((0..n).map(|q| (b[k][q], 1)), p.g as i64);
     }
-    (m, IlpVars { a, b, f, s_up, t_up })
+    (
+        m,
+        IlpVars {
+            a,
+            b,
+            f,
+            s_up,
+            t_up,
+        },
+    )
 }
 
 /// Extracts a staging from an ILP solution.
@@ -123,9 +135,17 @@ pub fn extract_raw(p: &StagingProblem, s: usize, vars: &IlpVars, sol: &Solution)
         partitions.push((lm, gm));
     }
     let item_stage: Vec<usize> = (0..p.items.len())
-        .map(|g| (0..s).find(|&k| sol.value(vars.f[k][g])).expect("item never finishes"))
+        .map(|g| {
+            (0..s)
+                .find(|&k| sol.value(vars.f[k][g]))
+                .expect("item never finishes")
+        })
         .collect();
-    RawStaging { partitions, item_stage, cost: sol.objective.unwrap_or(0) }
+    RawStaging {
+        partitions,
+        item_stage,
+        cost: sol.objective.unwrap_or(0),
+    }
 }
 
 /// Solves the `s`-stage model. Returns the status plus the staging when
@@ -137,6 +157,9 @@ pub fn solve_ilp(
 ) -> (SolveStatus, Option<RawStaging>) {
     let (model, vars) = build_ilp(p, s);
     let sol = atlas_ilp::solve(&model, cfg);
-    let raw = sol.assignment.as_ref().map(|_| extract_raw(p, s, &vars, &sol));
+    let raw = sol
+        .assignment
+        .as_ref()
+        .map(|_| extract_raw(p, s, &vars, &sol));
     (sol.status, raw)
 }

@@ -59,11 +59,18 @@ fn extract_stages(circuit: &Circuit, p: &StagingProblem, raw: &RawStaging) -> Ve
     let mut min_stage = vec![0usize; circuit.num_qubits() as usize];
     let mut gate_stage = vec![0usize; circuit.num_gates()];
     for (gi, gate) in circuit.gates().iter().enumerate() {
-        let dep_floor =
-            gate.qubits.iter().map(|q| min_stage[q as usize]).max().unwrap_or(0);
+        let dep_floor = gate
+            .qubits
+            .iter()
+            .map(|q| min_stage[q as usize])
+            .max()
+            .unwrap_or(0);
         let k = if item_of[gi] != usize::MAX {
             let k = raw.item_stage[item_of[gi]];
-            debug_assert!(k >= dep_floor, "solver staged a gate before its dependencies");
+            debug_assert!(
+                k >= dep_floor,
+                "solver staged a gate before its dependencies"
+            );
             k
         } else {
             dep_floor
@@ -101,7 +108,11 @@ pub fn masks_to_partition(n: u32, lmask: u64, gmask: u64) -> QubitPartition {
             regional.push(q);
         }
     }
-    QubitPartition { local, regional, global }
+    QubitPartition {
+        local,
+        regional,
+        global,
+    }
 }
 
 /// Atlas staging (Algorithm 2): minimize the number of stages, then the
@@ -158,13 +169,19 @@ fn finish(
 ) -> Result<StagingOutcome, String> {
     let stages = extract_stages(circuit, p, &raw);
     crate::plan::validate_stages(circuit, &stages, l, g)?;
-    Ok(StagingOutcome { stages, cost: raw.cost, optimal })
+    Ok(StagingOutcome {
+        stages,
+        cost: raw.cost,
+        optimal,
+    })
 }
 
 /// Algorithm 2 with the generic ILP: try `s = 1, 2, …` until feasible.
 fn stage_generic_ilp(p: &StagingProblem, cfg: &AtlasConfig) -> Result<(RawStaging, bool), String> {
-    let solver_cfg =
-        SolverConfig { node_limit: cfg.ilp_node_limit, time_limit: cfg.ilp_time_limit };
+    let solver_cfg = SolverConfig {
+        node_limit: cfg.ilp_node_limit,
+        time_limit: cfg.ilp_time_limit,
+    };
     let mut proof_intact = true;
     for s in 1..=cfg.max_stages {
         let (status, raw) = ilp_model::solve_ilp(p, s, &solver_cfg);
@@ -213,7 +230,13 @@ mod tests {
     fn search_matches_generic_ilp_stage_count_on_small_circuits() {
         // Theorem 1 cross-check: the search solver must find the same
         // minimal stage count as the exact ILP.
-        for fam in [Family::Ghz, Family::Dj, Family::GraphState, Family::WState, Family::Qft] {
+        for fam in [
+            Family::Ghz,
+            Family::Dj,
+            Family::GraphState,
+            Family::WState,
+            Family::Qft,
+        ] {
             for n in [6u32, 8] {
                 for l in [3u32, 4, 5] {
                     let c = fam.generate(n);

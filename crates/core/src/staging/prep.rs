@@ -121,7 +121,10 @@ impl StagingProblem {
                     }
                 }
             }
-            items.push(StagingItem { mask, orig: vec![gi] });
+            items.push(StagingItem {
+                mask,
+                orig: vec![gi],
+            });
             last_item_full_qubits = qmask;
             between = 0;
             for q in gate.qubits.iter() {
@@ -130,7 +133,15 @@ impl StagingProblem {
         }
         deps.sort_unstable();
         deps.dedup();
-        StagingProblem { n, l, g, c_factor, items, deps, gate_masks }
+        StagingProblem {
+            n,
+            l,
+            g,
+            c_factor,
+            items,
+            deps,
+            gate_masks,
+        }
     }
 
     /// The union of all non-insular qubits (qubits that must become local
@@ -154,9 +165,7 @@ impl StagingProblem {
     ) -> Vec<usize> {
         let mut finished = Vec::new();
         let mut ready: Vec<usize> = (0..self.items.len())
-            .filter(|&i| {
-                !bit(done, i) && indeg[i] == 0 && self.items[i].mask & !local_mask == 0
-            })
+            .filter(|&i| !bit(done, i) && indeg[i] == 0 && self.items[i].mask & !local_mask == 0)
             .collect();
         while let Some(i) = ready.pop() {
             if bit(done, i) {

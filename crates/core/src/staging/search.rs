@@ -137,7 +137,10 @@ fn choose_global(p: &StagingProblem, done: &[u64], lmask: u64, prev_gmask: u64) 
             q,
         )
     });
-    candidates.iter().take(g as usize).fold(0u64, |m, &q| m | (1 << q))
+    candidates
+        .iter()
+        .take(g as usize)
+        .fold(0u64, |m, &q| m | (1 << q))
 }
 
 /// Public wrapper for the global-set policy, shared with the SnuQS
@@ -147,13 +150,7 @@ pub fn choose_global_pub(p: &StagingProblem, done: &[u64], lmask: u64, prev_gmas
 }
 
 /// Transition cost of Eq. 2 for one stage boundary.
-pub fn transition_cost(
-    old_l: u64,
-    old_g: u64,
-    new_l: u64,
-    new_g: u64,
-    c_factor: i64,
-) -> i64 {
+pub fn transition_cost(old_l: u64, old_g: u64, new_l: u64, new_g: u64, c_factor: i64) -> i64 {
     let became_local = (new_l & !old_l).count_ones() as i64;
     let became_global = (new_g & !old_g).count_ones() as i64;
     became_local + c_factor * became_global
@@ -233,7 +230,15 @@ pub fn solve_search(
                 let mut trace = state.trace.clone();
                 let finished = state.finished + fin.len();
                 trace.push((lmask, gmask, fin));
-                let child = State { done, indeg, finished, lmask, gmask, cost, trace };
+                let child = State {
+                    done,
+                    indeg,
+                    finished,
+                    lmask,
+                    gmask,
+                    cost,
+                    trace,
+                };
                 if finished == nitems {
                     completed.push(child);
                 } else {
@@ -255,7 +260,11 @@ pub fn solve_search(
                     item_stage[i] = k;
                 }
             }
-            return Some(RawStaging { partitions, item_stage, cost: best.cost });
+            return Some(RawStaging {
+                partitions,
+                item_stage,
+                cost: best.cost,
+            });
         }
         // Beam selection: half by progress, half by cost.
         children.sort_by_key(|s| (std::cmp::Reverse(s.finished), s.cost));

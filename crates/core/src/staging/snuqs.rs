@@ -91,5 +91,9 @@ pub fn solve_snuqs(p: &StagingProblem) -> RawStaging {
             break;
         }
     }
-    RawStaging { partitions, item_stage, cost }
+    RawStaging {
+        partitions,
+        item_stage,
+        cost,
+    }
 }

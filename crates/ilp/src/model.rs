@@ -38,7 +38,9 @@ impl LinExpr {
 
     /// Builds from a term list.
     pub fn from_terms(terms: impl IntoIterator<Item = (VarId, i64)>) -> Self {
-        LinExpr { terms: terms.into_iter().collect() }
+        LinExpr {
+            terms: terms.into_iter().collect(),
+        }
     }
 
     /// Merges duplicate variables and drops zero coefficients.
@@ -101,7 +103,9 @@ impl Model {
 
     /// Adds `count` variables named `prefix_i`.
     pub fn add_vars(&mut self, prefix: &str, count: usize) -> Vec<VarId> {
-        (0..count).map(|i| self.add_var(format!("{prefix}_{i}"))).collect()
+        (0..count)
+            .map(|i| self.add_var(format!("{prefix}_{i}")))
+            .collect()
     }
 
     /// Number of variables.
@@ -189,7 +193,10 @@ mod tests {
     #[test]
     fn normalize_merges_and_drops_zeros() {
         let mut e = LinExpr::new();
-        e.add(VarId(1), 2).add(VarId(0), 5).add(VarId(1), -2).add(VarId(2), 3);
+        e.add(VarId(1), 2)
+            .add(VarId(0), 5)
+            .add(VarId(1), -2)
+            .add(VarId(2), 3);
         e.normalize();
         assert_eq!(e.terms, vec![(VarId(0), 5), (VarId(2), 3)]);
     }

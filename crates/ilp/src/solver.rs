@@ -15,7 +15,10 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { node_limit: 20_000_000, time_limit: Duration::from_secs(60) }
+        SolverConfig {
+            node_limit: 20_000_000,
+            time_limit: Duration::from_secs(60),
+        }
     }
 }
 
@@ -92,8 +95,7 @@ impl<'m> Search<'m> {
         let nv = model.num_vars() as usize;
         let mut cons = Vec::new();
         for c in &model.constraints {
-            let terms: Vec<(u32, i64)> =
-                c.expr.terms.iter().map(|&(v, a)| (v.0, a)).collect();
+            let terms: Vec<(u32, i64)> = c.expr.terms.iter().map(|&(v, a)| (v.0, a)).collect();
             match c.op {
                 CmpOp::Le => cons.push(NormCon { terms, rhs: c.rhs }),
                 CmpOp::Ge => cons.push(NormCon {
@@ -101,7 +103,10 @@ impl<'m> Search<'m> {
                     rhs: -c.rhs,
                 }),
                 CmpOp::Eq => {
-                    cons.push(NormCon { terms: terms.clone(), rhs: c.rhs });
+                    cons.push(NormCon {
+                        terms: terms.clone(),
+                        rhs: c.rhs,
+                    });
                     cons.push(NormCon {
                         terms: terms.iter().map(|&(v, a)| (v, -a)).collect(),
                         rhs: -c.rhs,
@@ -236,7 +241,10 @@ impl<'m> Search<'m> {
     }
 
     fn pick_branch_var(&self) -> Option<u32> {
-        self.order.iter().copied().find(|&v| self.values[v as usize] == -1)
+        self.order
+            .iter()
+            .copied()
+            .find(|&v| self.values[v as usize] == -1)
     }
 
     fn preferred_value(&self, var: u32) -> bool {
@@ -288,7 +296,7 @@ pub fn solve(model: &Model, config: &SolverConfig) -> Solution {
             } else {
                 s.nodes += 1;
                 if s.nodes >= config.node_limit
-                    || (s.nodes % 1024 == 0 && start.elapsed() >= config.time_limit)
+                    || (s.nodes.is_multiple_of(1024) && start.elapsed() >= config.time_limit)
                 {
                     budget_hit = true;
                     break 'search;
@@ -298,14 +306,24 @@ pub fn solve(model: &Model, config: &SolverConfig) -> Solution {
                 let mark = s.trail.len();
                 let ok = s.assign(var, val);
                 if ok && matches!(s.propagate(), PropResult::Ok) {
-                    stack.push(Frame { var, first: val, mark, flipped: false });
+                    stack.push(Frame {
+                        var,
+                        first: val,
+                        mark,
+                        flipped: false,
+                    });
                     continue 'search;
                 }
                 // Immediate conflict on first polarity: undo and flip in place.
                 s.backtrack_to(mark);
                 let ok = s.assign(var, !val);
                 if ok && matches!(s.propagate(), PropResult::Ok) {
-                    stack.push(Frame { var, first: !val, mark, flipped: true });
+                    stack.push(Frame {
+                        var,
+                        first: !val,
+                        mark,
+                        flipped: true,
+                    });
                     continue 'search;
                 }
                 s.backtrack_to(mark);
@@ -356,9 +374,12 @@ pub fn solve(model: &Model, config: &SolverConfig) -> Solution {
             objective: None,
             nodes,
         },
-        (None, true) => {
-            Solution { status: SolveStatus::Unknown, assignment: None, objective: None, nodes }
-        }
+        (None, true) => Solution {
+            status: SolveStatus::Unknown,
+            assignment: None,
+            objective: None,
+            nodes,
+        },
     }
 }
 
@@ -472,6 +493,75 @@ mod tests {
     }
 
     #[test]
+    fn tiny_assignment_problem_unique_optimum() {
+        // 2×2 assignment: minimize 3·x00 + 1·x01 + 2·x10 + 4·x11 with one
+        // pick per row and per column. Unique optimum x01 = x10 = 1,
+        // objective 3.
+        let mut m = Model::new();
+        let x = m.add_vars("x", 4); // row-major [x00, x01, x10, x11]
+        for (v, c) in x.iter().zip([3i64, 1, 2, 4]) {
+            m.set_objective(*v, c);
+        }
+        m.eq([(x[0], 1), (x[1], 1)], 1); // row 0
+        m.eq([(x[2], 1), (x[3], 1)], 1); // row 1
+        m.eq([(x[0], 1), (x[2], 1)], 1); // col 0
+        m.eq([(x[1], 1), (x[3], 1)], 1); // col 1
+        let sol = solve(&m, &SolverConfig::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.objective, Some(3));
+        let a = sol.assignment.as_ref().unwrap();
+        assert_eq!(
+            (a[0], a[1], a[2], a[3]),
+            (false, true, true, false),
+            "unique optimum has x01 = x10 = 1"
+        );
+    }
+
+    #[test]
+    fn infeasible_through_propagation_chain() {
+        // x0 = 1 forces the whole implication chain to 1, which then
+        // violates the cardinality cap — infeasibility only provable by
+        // propagating through every link.
+        let mut m = Model::new();
+        let vs = m.add_vars("x", 6);
+        m.fix(vs[0], true);
+        for w in vs.windows(2) {
+            m.ge([(w[1], 1), (w[0], -1)], 0); // x_{i+1} ≥ x_i
+        }
+        m.le(vs.iter().map(|&v| (v, 1)), 2); // Σx ≤ 2 < 6
+        let sol = solve(&m, &SolverConfig::default());
+        assert_eq!(sol.status, SolveStatus::Infeasible);
+        assert!(sol.assignment.is_none());
+    }
+
+    #[test]
+    fn optimal_on_fixed_instance_checked_exhaustively() {
+        // A fixed mixed-sign model, verified against inline enumeration of
+        // all 2^6 assignments (independent of the brute_force helper).
+        let mut m = Model::new();
+        let vs = m.add_vars("v", 6);
+        let costs = [4i64, -7, 2, -3, 5, -1];
+        for (&v, &c) in vs.iter().zip(&costs) {
+            m.set_objective(v, c);
+        }
+        m.le([(vs[0], 2), (vs[1], 3), (vs[2], -1)], 3);
+        m.ge([(vs[3], 1), (vs[4], 1), (vs[5], 1)], 1);
+        m.eq([(vs[1], 1), (vs[4], 1)], 1);
+        let mut best: Option<i64> = None;
+        for bits in 0..1u64 << 6 {
+            let a: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            if m.check(&a).is_ok() {
+                let obj = m.objective_value(&a);
+                best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+            }
+        }
+        let sol = solve(&m, &SolverConfig::default());
+        assert_eq!(sol.status, SolveStatus::Optimal);
+        assert_eq!(sol.objective, best);
+        assert!(m.check(sol.assignment.as_ref().unwrap()).is_ok());
+    }
+
+    #[test]
     fn matches_brute_force_on_random_models() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
@@ -523,7 +613,16 @@ mod tests {
         for (i, &v) in vs.iter().enumerate() {
             m.set_objective(v, ((i * 7) % 13) as i64 - 6);
         }
-        let sol = solve(&m, &SolverConfig { node_limit: 4, ..Default::default() });
-        assert!(matches!(sol.status, SolveStatus::Feasible | SolveStatus::Unknown));
+        let sol = solve(
+            &m,
+            &SolverConfig {
+                node_limit: 4,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(
+            sol.status,
+            SolveStatus::Feasible | SolveStatus::Unknown
+        ));
     }
 }

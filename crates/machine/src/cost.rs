@@ -113,8 +113,11 @@ impl CostModel {
         gates: impl IntoIterator<Item = &'a Gate>,
         amps: usize,
     ) -> f64 {
-        let per_amp: f64 =
-            self.shm_alpha_ns + gates.into_iter().map(|g| self.shm_gate_unit_ns(g)).sum::<f64>();
+        let per_amp: f64 = self.shm_alpha_ns
+            + gates
+                .into_iter()
+                .map(|g| self.shm_gate_unit_ns(g))
+                .sum::<f64>();
         self.kernel_launch_us * 1e-6 + amps as f64 * per_amp * 1e-9
     }
 

@@ -160,7 +160,9 @@ impl Machine {
     pub fn run_fusion_kernel(&mut self, s: usize, qubits: &[u32], matrix: &Matrix) {
         debug_assert!(qubits.iter().all(|&q| q < self.spec.local_qubits));
         let gpu = self.spec.gpu_of_shard(self.n, s);
-        self.pending[gpu] += self.cost.fusion_kernel_secs(qubits.len() as u32, self.shard_len());
+        self.pending[gpu] += self
+            .cost
+            .fusion_kernel_secs(qubits.len() as u32, self.shard_len());
         self.kernels += 1;
         if !self.dry {
             apply_matrix(&mut self.shards[s], qubits, matrix);
@@ -255,9 +257,17 @@ impl Machine {
             swap = max_shards * 2.0 * self.cost.pcie_transfer_secs(self.shard_len());
         }
         let step = if self.overlap_io {
-            StageTiming { compute: compute.max(swap), comm: 0.0, swap: if swap > compute { swap - compute } else { 0.0 } }
+            StageTiming {
+                compute: compute.max(swap),
+                comm: 0.0,
+                swap: if swap > compute { swap - compute } else { 0.0 },
+            }
         } else {
-            StageTiming { compute, comm: 0.0, swap }
+            StageTiming {
+                compute,
+                comm: 0.0,
+                swap,
+            }
         };
         self.steps.push(step);
         self.pending.iter_mut().for_each(|p| *p = 0.0);
@@ -299,8 +309,14 @@ impl Machine {
                 self.bytes_inter += bytes;
             }
         }
-        let t_intra = intra_out.iter().map(|&b| b as f64 / self.cost.intra_node_bw).fold(0.0, f64::max);
-        let t_inter = inter_out.iter().map(|&b| b as f64 / self.cost.inter_node_bw).fold(0.0, f64::max);
+        let t_intra = intra_out
+            .iter()
+            .map(|&b| b as f64 / self.cost.intra_node_bw)
+            .fold(0.0, f64::max);
+        let t_inter = inter_out
+            .iter()
+            .map(|&b| b as f64 / self.cost.inter_node_bw)
+            .fold(0.0, f64::max);
         // Local repack pass (gather/scatter through device memory) whenever
         // the permutation moves anything, including purely-local bits.
         let local_change = !perm.is_identity() || flip & ((1 << l) - 1) != 0;
@@ -314,10 +330,14 @@ impl Machine {
         } else {
             t_local
         };
-        self.steps.push(StageTiming { compute: 0.0, comm, swap: 0.0 });
+        self.steps.push(StageTiming {
+            compute: 0.0,
+            comm,
+            swap: 0.0,
+        });
 
         // Functional data movement.
-        if !self.dry && local_change || !self.dry && moved_any {
+        if !self.dry && (local_change || moved_any) {
             let shard_len = self.shard_len();
             let mut new_shards = vec![vec![Complex64::ZERO; shard_len]; self.shards.len()];
             for (s, shard) in self.shards.iter().enumerate() {
@@ -335,7 +355,11 @@ impl Machine {
     /// Charges communication without data movement (baseline simulators
     /// that model other exchange schemes).
     pub fn charge_comm(&mut self, secs: f64, bytes_intra: u64, bytes_inter: u64) {
-        self.steps.push(StageTiming { compute: 0.0, comm: secs, swap: 0.0 });
+        self.steps.push(StageTiming {
+            compute: 0.0,
+            comm: secs,
+            swap: 0.0,
+        });
         self.bytes_intra += bytes_intra;
         self.bytes_inter += bytes_inter;
     }
@@ -387,7 +411,11 @@ mod tests {
     use atlas_statevec::simulate_reference;
 
     fn small_spec() -> MachineSpec {
-        MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 3 }
+        MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 3,
+        }
     }
 
     #[test]
@@ -504,8 +532,10 @@ mod tests {
         prep.h(0).h(1).h(2);
         let reference = simulate_reference(&prep);
         let mut m = Machine::with_state(small_spec(), CostModel::default(), &reference);
-        let gates =
-            vec![Gate::new(GateKind::CX, &[0, 1]), Gate::new(GateKind::T, &[2])];
+        let gates = vec![
+            Gate::new(GateKind::CX, &[0, 1]),
+            Gate::new(GateKind::T, &[2]),
+        ];
         for s in 0..m.num_shards() {
             m.run_shm_kernel(s, &[0, 1, 2], &gates);
         }

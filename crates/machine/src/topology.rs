@@ -22,12 +22,20 @@ impl MachineSpec {
     /// A spec mirroring one Perlmutter node group: `nodes` × 4 × A100-40GB,
     /// 28 local qubits (4 GiB of amplitudes per GPU).
     pub fn perlmutter(nodes: usize) -> Self {
-        MachineSpec { nodes, gpus_per_node: 4, local_qubits: 28 }
+        MachineSpec {
+            nodes,
+            gpus_per_node: 4,
+            local_qubits: 28,
+        }
     }
 
     /// Single-GPU machine with `l` local qubits.
     pub fn single_gpu(l: u32) -> Self {
-        MachineSpec { nodes: 1, gpus_per_node: 1, local_qubits: l }
+        MachineSpec {
+            nodes: 1,
+            gpus_per_node: 1,
+            local_qubits: l,
+        }
     }
 
     /// Total GPU count.
@@ -117,7 +125,12 @@ mod tests {
 
     #[test]
     fn shard_placement() {
-        let m = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 4 }.checked();
+        let m = MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 4,
+        }
+        .checked();
         // n = 7 → 8 shards: R=2 (4 per node), G=1.
         let n = 7;
         assert_eq!(m.regional_qubits(n), 2);

@@ -75,7 +75,11 @@ pub fn traffic_matrix(
                     dst ^= 1 << j;
                 }
             }
-            entries.push(TrafficEntry { src: s, dst, amps: amps_per_edge });
+            entries.push(TrafficEntry {
+                src: s,
+                dst,
+                amps: amps_per_edge,
+            });
         }
     }
     entries

@@ -117,6 +117,37 @@ mod tests {
     }
 
     #[test]
+    fn insert_bits_partitions_the_index_space() {
+        // For any ascending bit set, {insert_bits(i) + deposit_bits(j)}
+        // over all (i, j) enumerates [0, 2^n) exactly once: base indices
+        // and gate-local offsets tile the whole space.
+        let n = 8u32;
+        for bits in [vec![0u32], vec![2, 5], vec![0, 3, 7], vec![1, 2, 3]] {
+            let k = bits.len() as u32;
+            let mut seen = vec![false; 1 << n];
+            for i in 0..1u64 << (n - k) {
+                let base = insert_bits(i, &bits);
+                for j in 0..1u64 << k {
+                    let idx = (base | deposit_bits(j, &bits)) as usize;
+                    assert!(!seen[idx], "index {idx} covered twice for {bits:?}");
+                    seen[idx] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "gaps in coverage for {bits:?}");
+        }
+    }
+
+    #[test]
+    fn extract_bits_inverts_insert_complement() {
+        // extract_bits of the non-inserted positions recovers the original.
+        let bits = [1u32, 4];
+        let rest: Vec<u32> = (0..7).filter(|b| !bits.contains(b)).collect();
+        for i in 0..32u64 {
+            assert_eq!(extract_bits(insert_bits(i, &bits), &rest), i);
+        }
+    }
+
+    #[test]
     fn set_clear_test() {
         let x = 0b1010u64;
         assert!(test_bit(x, 1));

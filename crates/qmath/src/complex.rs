@@ -53,7 +53,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|²` — the measurement probability of an amplitude.
@@ -81,7 +84,10 @@ impl Complex64 {
     /// Multiplication by a real scalar.
     #[inline(always)]
     pub fn scale(self, s: f64) -> Complex64 {
-        Complex64 { re: self.re * s, im: self.im * s }
+        Complex64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     /// `true` if both components are within `eps` of `other`'s.
@@ -101,7 +107,10 @@ impl Add for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn add(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -117,7 +126,10 @@ impl Sub for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn sub(self, rhs: Complex64) -> Complex64 {
-        Complex64 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -171,7 +183,10 @@ impl Neg for Complex64 {
     type Output = Complex64;
     #[inline(always)]
     fn neg(self) -> Complex64 {
-        Complex64 { re: -self.re, im: -self.im }
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -246,7 +261,13 @@ mod tests {
 
     #[test]
     fn display_formats_sign() {
-        assert_eq!(format!("{}", Complex64::new(1.0, -1.0)), "1.000000-1.000000i");
-        assert_eq!(format!("{}", Complex64::new(0.0, 2.0)), "0.000000+2.000000i");
+        assert_eq!(
+            format!("{}", Complex64::new(1.0, -1.0)),
+            "1.000000-1.000000i"
+        );
+        assert_eq!(
+            format!("{}", Complex64::new(0.0, 2.0)),
+            "0.000000+2.000000i"
+        );
     }
 }

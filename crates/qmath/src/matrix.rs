@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![Complex64::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity.
@@ -44,7 +48,9 @@ impl Matrix {
         Matrix::from_rows(
             rows,
             cols,
-            data.iter().map(|&(re, im)| Complex64::new(re, im)).collect(),
+            data.iter()
+                .map(|&(re, im)| Complex64::new(re, im))
+                .collect(),
         )
     }
 
@@ -114,9 +120,7 @@ impl Matrix {
     /// `true` if all off-diagonal entries are ≤ `eps` in modulus.
     pub fn is_diagonal(&self, eps: f64) -> bool {
         self.rows == self.cols
-            && (0..self.rows).all(|r| {
-                (0..self.cols).all(|c| r == c || self[(r, c)].is_zero(eps))
-            })
+            && (0..self.rows).all(|r| (0..self.cols).all(|c| r == c || self[(r, c)].is_zero(eps)))
     }
 
     /// `true` if all entries off the anti-diagonal are ≤ `eps` in modulus.
@@ -131,7 +135,11 @@ impl Matrix {
     pub fn approx_eq(&self, other: &Matrix, eps: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self.data.iter().zip(&other.data).all(|(a, b)| a.approx_eq(*b, eps))
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, eps))
     }
 
     /// Matrix-vector product into a caller-provided output buffer
@@ -301,8 +309,9 @@ mod tests {
     #[test]
     fn mul_vec_matches_mul() {
         let m = h().kron(&x());
-        let v: Vec<Complex64> =
-            (0..4).map(|i| Complex64::new(i as f64, -(i as f64) * 0.5)).collect();
+        let v: Vec<Complex64> = (0..4)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
         let mut out = vec![Complex64::ZERO; 4];
         m.mul_vec_into(&v, &mut out);
         for r in 0..4 {
@@ -314,6 +323,57 @@ mod tests {
         }
     }
 
+    /// A deterministic "random" unitary: a product of axis rotations with
+    /// angles derived from `seed`.
+    fn pseudo_random_unitary(seed: u64) -> Matrix {
+        let a = (seed as f64) * 0.7;
+        let b = (seed as f64) * 1.3 + 0.4;
+        let (ca, sa) = (a.cos(), a.sin());
+        let rot = Matrix::from_reim(2, 2, &[(ca, 0.0), (-sa, 0.0), (sa, 0.0), (ca, 0.0)]);
+        let phase = Matrix::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::cis(b),
+            ],
+        );
+        &rot * &phase
+    }
+
+    #[test]
+    fn unitarity_is_closed_under_product_and_kron() {
+        for seed in 0..8u64 {
+            let u = pseudo_random_unitary(seed);
+            let v = pseudo_random_unitary(seed + 100);
+            assert!(u.is_unitary(1e-10), "seed {seed}");
+            assert!((&u * &v).is_unitary(1e-10), "product, seed {seed}");
+            assert!(u.kron(&v).is_unitary(1e-10), "kron, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dagger_inverts_unitaries() {
+        for seed in 0..8u64 {
+            let u = pseudo_random_unitary(seed).kron(&pseudo_random_unitary(seed + 50));
+            let id = &u * &u.dagger();
+            assert!(
+                id.approx_eq(&Matrix::identity(4), 1e-10),
+                "u·u† != I at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_unitary_is_detected() {
+        let mut m = Matrix::identity(2);
+        m[(0, 0)] = Complex64::new(2.0, 0.0); // breaks column normalization
+        assert!(!m.is_unitary(1e-9));
+        assert!(!Matrix::zeros(2, 2).is_unitary(1e-9));
+    }
+
     #[test]
     fn global_phase_equality() {
         let a = h();
@@ -321,7 +381,7 @@ mod tests {
         let phase = Complex64::cis(1.234);
         for r in 0..2 {
             for c in 0..2 {
-                b[(r, c)] = b[(r, c)] * phase;
+                b[(r, c)] *= phase;
             }
         }
         assert!(equal_up_to_global_phase(&a, &b, 1e-9));

@@ -19,7 +19,9 @@ pub struct QubitPermutation {
 impl QubitPermutation {
     /// The identity permutation on `n` positions.
     pub fn identity(n: usize) -> Self {
-        QubitPermutation { map: (0..n as u32).collect() }
+        QubitPermutation {
+            map: (0..n as u32).collect(),
+        }
     }
 
     /// Builds a permutation from `map[src] = dst`. Panics if `map` is not a
@@ -70,7 +72,9 @@ impl QubitPermutation {
     /// Composition `other ∘ self`: apply `self` first, then `other`.
     pub fn then(&self, other: &QubitPermutation) -> QubitPermutation {
         assert_eq!(self.len(), other.len());
-        QubitPermutation { map: self.map.iter().map(|&m| other.map[m as usize]).collect() }
+        QubitPermutation {
+            map: self.map.iter().map(|&m| other.map[m as usize]).collect(),
+        }
     }
 
     /// Applies the permutation to an amplitude index.
@@ -144,6 +148,62 @@ mod tests {
         assert_eq!(p.apply_index(0b100), 0b001);
         assert_eq!(p.apply_index(0b010), 0b010);
         assert_eq!(p.apply_index(0b101), 0b101);
+    }
+
+    /// Deterministic Fisher–Yates from an LCG seed.
+    fn random_perm(n: usize, seed: u64) -> QubitPermutation {
+        let mut map: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed | 1;
+        for i in (1..n).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            map.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        QubitPermutation::from_map(map)
+    }
+
+    #[test]
+    fn random_inverse_roundtrips() {
+        for seed in 0..32u64 {
+            let p = random_perm(10, seed);
+            let inv = p.inverse();
+            assert!(p.then(&inv).is_identity(), "p∘p⁻¹ ≠ id at seed {seed}");
+            assert!(inv.then(&p).is_identity(), "p⁻¹∘p ≠ id at seed {seed}");
+            assert_eq!(inv.inverse(), p, "(p⁻¹)⁻¹ ≠ p at seed {seed}");
+            for idx in [0u64, 1, 37, 511, 1023] {
+                assert_eq!(inv.apply_index(p.apply_index(idx)), idx);
+            }
+        }
+    }
+
+    #[test]
+    fn composition_is_associative_on_indices() {
+        for seed in 0..16u64 {
+            let a = random_perm(8, seed);
+            let b = random_perm(8, seed + 1000);
+            let c = random_perm(8, seed + 2000);
+            let left = a.then(&b).then(&c);
+            let right = a.then(&b.then(&c));
+            assert_eq!(left, right, "associativity broke at seed {seed}");
+            for idx in 0..256u64 {
+                assert_eq!(
+                    left.apply_index(idx),
+                    c.apply_index(b.apply_index(a.apply_index(idx)))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_index_is_a_bijection() {
+        let p = random_perm(8, 7);
+        let mut seen = vec![false; 256];
+        for idx in 0..256u64 {
+            let out = p.apply_index(idx) as usize;
+            assert!(!seen[out], "index {out} hit twice");
+            seen[out] = true;
+        }
     }
 
     #[test]

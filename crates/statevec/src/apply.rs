@@ -74,12 +74,7 @@ pub fn apply_diag(amps: &mut [Complex64], qubits: &[u32], diag: &[Complex64]) {
 
 /// Applies a single-qubit unitary `u` on `target`, controlled on all bits of
 /// `control_mask` being 1.
-pub fn apply_controlled_1q(
-    amps: &mut [Complex64],
-    control_mask: u64,
-    target: u32,
-    u: &Matrix,
-) {
+pub fn apply_controlled_1q(amps: &mut [Complex64], control_mask: u64, target: u32, u: &Matrix) {
     let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
     let tbit = 1usize << target;
     let cmask = control_mask as usize;

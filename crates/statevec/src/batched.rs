@@ -40,7 +40,8 @@ pub fn apply_batched(amps: &mut [Complex64], active_qubits: &[u32], gates: &[Gat
                     sorted
                         .iter()
                         .position(|&aq| aq == q)
-                        .unwrap_or_else(|| panic!("gate qubit {q} outside active set")) as u32
+                        .unwrap_or_else(|| panic!("gate qubit {q} outside active set"))
+                        as u32
                 })
                 .collect();
             Gate::new(g.kind, &local)

@@ -91,7 +91,13 @@ mod tests {
     fn fused_application_matches_sequential() {
         // A 3-qubit kernel from a realistic gate mix.
         let mut c = Circuit::new(5);
-        c.h(1).cx(1, 3).t(3).cp(0.8, 4, 1).h(4).swap(1, 4).rz(0.3, 3);
+        c.h(1)
+            .cx(1, 3)
+            .t(3)
+            .cp(0.8, 4, 1)
+            .h(4)
+            .swap(1, 4)
+            .rz(0.3, 3);
         let kernel_qubits = [1u32, 3, 4];
         let fused = fuse_gates(&kernel_qubits, c.gates());
         assert!(fused.is_unitary(1e-9));

@@ -39,12 +39,7 @@ impl<'a> AmpCell<'a> {
 
 /// Applies unitary `m` over `qubits` using up to `threads` OS threads.
 /// Functionally identical to [`crate::apply::apply_matrix`].
-pub fn apply_matrix_parallel(
-    amps: &mut [Complex64],
-    qubits: &[u32],
-    m: &Matrix,
-    threads: usize,
-) {
+pub fn apply_matrix_parallel(amps: &mut [Complex64], qubits: &[u32], m: &Matrix, threads: usize) {
     let k = qubits.len();
     assert_eq!(m.rows(), 1 << k);
     let groups = amps.len() >> k;

@@ -13,7 +13,10 @@ pub struct StateVector {
 impl StateVector {
     /// `|0…0⟩` over `n` qubits.
     pub fn zero_state(n: u32) -> Self {
-        assert!(n <= 30, "allocating 2^{n} amplitudes exceeds sane host memory");
+        assert!(
+            n <= 30,
+            "allocating 2^{n} amplitudes exceeds sane host memory"
+        );
         let mut amps = vec![Complex64::ZERO; 1usize << n];
         amps[0] = Complex64::ONE;
         StateVector { n, amps }

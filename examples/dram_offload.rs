@@ -20,12 +20,19 @@ fn main() {
     // ---- Part 1: functional offloaded run --------------------------------
     let n = 20;
     let circuit = atlas::circuit::generators::qft(n);
-    let spec = MachineSpec { nodes: 1, gpus_per_node: 1, local_qubits: 16 };
-    assert!(spec.offloading(n), "16 shards through 1 GPU — offloading engaged");
+    let spec = MachineSpec {
+        nodes: 1,
+        gpus_per_node: 1,
+        local_qubits: 16,
+    };
+    assert!(
+        spec.offloading(n),
+        "16 shards through 1 GPU — offloading engaged"
+    );
 
     let cfg = AtlasConfig::for_validation();
-    let out = simulate(&circuit, spec, CostModel::default(), &cfg, false)
-        .expect("simulation failed");
+    let out =
+        simulate(&circuit, spec, CostModel::default(), &cfg, false).expect("simulation failed");
     let state = out.state.expect("functional run");
     let reference = simulate_reference(&circuit);
 
@@ -34,7 +41,10 @@ fn main() {
     println!("  stages          : {}", out.plan.stages.len());
     println!("  swap time       : {:.4} s", out.report.swap_secs);
     println!("  total model time: {:.4} s", out.report.total_secs);
-    println!("  max |Δamp| vs reference: {:.2e}", state.max_abs_diff(&reference));
+    println!(
+        "  max |Δamp| vs reference: {:.2e}",
+        state.max_abs_diff(&reference)
+    );
     assert!(state.max_abs_diff(&reference) < 1e-9);
 
     // ---- Part 2: paper-scale model, Atlas vs QDAO (Fig. 7 point) ---------

@@ -69,10 +69,14 @@ fn main() {
         append_diffusion(&mut circuit);
     }
 
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: N - 2 };
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: N - 2,
+    };
     let cfg = AtlasConfig::for_validation();
-    let out = simulate(&circuit, spec, CostModel::default(), &cfg, false)
-        .expect("simulation failed");
+    let out =
+        simulate(&circuit, spec, CostModel::default(), &cfg, false).expect("simulation failed");
     let state = out.state.expect("functional run");
 
     println!(

@@ -50,10 +50,14 @@ fn main() {
     let betas = [std::f64::consts::PI / 8.0];
     let circuit = qaoa_circuit(&gammas, &betas);
 
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 9 };
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 9,
+    };
     let cfg = AtlasConfig::for_validation();
-    let out = simulate(&circuit, spec, CostModel::default(), &cfg, false)
-        .expect("simulation failed");
+    let out =
+        simulate(&circuit, spec, CostModel::default(), &cfg, false).expect("simulation failed");
     let state = out.state.expect("functional run");
 
     let expected_cut: f64 = state
@@ -80,8 +84,14 @@ fn main() {
 
     println!("\nmachine profile:");
     println!("  model time    : {:.6} s", out.report.total_secs);
-    println!("  comm fraction : {:.1} %", 100.0 * out.report.comm_fraction());
+    println!(
+        "  comm fraction : {:.1} %",
+        100.0 * out.report.comm_fraction()
+    );
     println!("  kernels       : {}", out.report.kernels);
 
-    assert!(expected_cut / f64::from(N) > 0.74, "p=1 ring optimum reaches 3/4");
+    assert!(
+        expected_cut / f64::from(N) > 0.74,
+        "p=1 ring optimum reaches 3/4"
+    );
 }

@@ -12,19 +12,30 @@ fn main() {
     // (8 shards of 512 amplitudes).
     let n = 12;
     let circuit = atlas::circuit::generators::ghz(n);
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 9 };
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 9,
+    };
     let cfg = AtlasConfig::for_validation();
 
-    let out = simulate(&circuit, spec, CostModel::default(), &cfg, false)
-        .expect("simulation failed");
-    let state = out.state.as_ref().expect("functional run returns the state");
+    let out =
+        simulate(&circuit, spec, CostModel::default(), &cfg, false).expect("simulation failed");
+    let state = out
+        .state
+        .as_ref()
+        .expect("functional run returns the state");
 
     println!("GHZ({n}) on {} simulated GPUs", spec.num_gpus());
     println!("  stages            : {}", out.plan.stages.len());
     println!("  staging cost (Eq2): {}", out.plan.staging_cost);
     println!(
         "  kernels           : {}",
-        out.plan.stages.iter().map(|s| s.kernels.len()).sum::<usize>()
+        out.plan
+            .stages
+            .iter()
+            .map(|s| s.kernels.len())
+            .sum::<usize>()
     );
     println!("  model time        : {:.6} s", out.report.total_secs);
     println!(

@@ -36,7 +36,7 @@ USAGE:
 
 CIRCUIT:
     --family <name>     ae|dj|ghz|graphstate|ising|qft|qpeexact|qsvm|
-                        su2random|vqc|wstate|hhl
+                        su2random|vqc|wstate|hhl|qaoa|grover
     -n <qubits>         circuit size (default 10)
     --qasm <file>       read an OpenQASM-2 subset file instead
 
@@ -72,7 +72,9 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let take = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--family" => args.family = Some(take(&mut i)?),
@@ -109,7 +111,17 @@ fn build_circuit(args: &Args) -> Result<Circuit, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         return qasm::from_qasm(&text).map_err(|e| format!("{path}: {e}"));
     }
-    let name = args.family.as_deref().ok_or("need --family or --qasm (try --help)")?;
+    let name = args
+        .family
+        .as_deref()
+        .ok_or("need --family or --qasm (try --help)")?;
+    // The regression-circuit generators ride alongside the Table I
+    // families.
+    match name {
+        "qaoa" => return Ok(atlas::circuit::generators::qaoa(args.n)),
+        "grover" => return Ok(atlas::circuit::generators::grover(args.n)),
+        _ => {}
+    }
     let fam = Family::from_name(name).ok_or_else(|| format!("unknown family '{name}'"))?;
     Ok(fam.generate(args.n))
 }
@@ -143,7 +155,11 @@ fn main() -> ExitCode {
 
     println!(
         "circuit {} : {} qubits, {} gates, depth {}",
-        if circuit.name().is_empty() { "<qasm>" } else { circuit.name() },
+        if circuit.name().is_empty() {
+            "<qasm>"
+        } else {
+            circuit.name()
+        },
         n,
         circuit.num_gates(),
         circuit.depth()
@@ -154,11 +170,17 @@ fn main() -> ExitCode {
         spec.gpus_per_node,
         spec.local_qubits,
         spec.num_shards(n),
-        if spec.offloading(n) { ", DRAM offloading" } else { "" }
+        if spec.offloading(n) {
+            ", DRAM offloading"
+        } else {
+            ""
+        }
     );
 
-    let mut cfg = AtlasConfig::default();
-    cfg.final_unpermute = !dry;
+    let cfg = AtlasConfig {
+        final_unpermute: !dry,
+        ..AtlasConfig::default()
+    };
 
     if args.plan_only {
         let plan = match atlas::core::exec::plan(

@@ -11,7 +11,11 @@ use proptest::prelude::*;
 
 #[test]
 fn hyquas_like_matches_reference() {
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 6 };
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 6,
+    };
     for fam in [Family::Qft, Family::Ising, Family::Dj, Family::GraphState] {
         let c = fam.generate(9);
         let out = baselines::hyquas(&c, spec, CostModel::default(), false).unwrap();
@@ -27,7 +31,11 @@ fn atlas_beats_baselines_at_scale() {
     // Fig. 5's qualitative claim at the model level: on a multi-node
     // machine Atlas' model time is below HyQuas-like, cuQuantum-like and
     // Qiskit-like for the communication-heavy families.
-    let spec = MachineSpec { nodes: 4, gpus_per_node: 4, local_qubits: 14 };
+    let spec = MachineSpec {
+        nodes: 4,
+        gpus_per_node: 4,
+        local_qubits: 14,
+    };
     for fam in [Family::Qft, Family::Su2Random, Family::QpeExact] {
         let c = fam.generate(20);
         let cost = CostModel::default();
@@ -35,19 +43,34 @@ fn atlas_beats_baselines_at_scale() {
             .unwrap()
             .report
             .total_secs;
-        let hyquas_t =
-            baselines::hyquas(&c, spec, cost.clone(), true).unwrap().report.total_secs;
-        let cuq_t =
-            baselines::cuquantum(&c, spec, cost.clone(), true).unwrap().report.total_secs;
-        let qiskit_t =
-            baselines::qiskit(&c, spec, cost.clone(), true).unwrap().report.total_secs;
+        let hyquas_t = baselines::hyquas(&c, spec, cost.clone(), true)
+            .unwrap()
+            .report
+            .total_secs;
+        let cuq_t = baselines::cuquantum(&c, spec, cost.clone(), true)
+            .unwrap()
+            .report
+            .total_secs;
+        let qiskit_t = baselines::qiskit(&c, spec, cost.clone(), true)
+            .unwrap()
+            .report
+            .total_secs;
         assert!(
             atlas_t <= hyquas_t * 1.05,
             "{fam:?}: atlas {atlas_t} vs hyquas {hyquas_t}"
         );
-        assert!(atlas_t < cuq_t, "{fam:?}: atlas {atlas_t} vs cuquantum {cuq_t}");
-        assert!(atlas_t < qiskit_t, "{fam:?}: atlas {atlas_t} vs qiskit {qiskit_t}");
-        assert!(qiskit_t > cuq_t, "{fam:?}: qiskit must be the slowest baseline");
+        assert!(
+            atlas_t < cuq_t,
+            "{fam:?}: atlas {atlas_t} vs cuquantum {cuq_t}"
+        );
+        assert!(
+            atlas_t < qiskit_t,
+            "{fam:?}: atlas {atlas_t} vs qiskit {qiskit_t}"
+        );
+        assert!(
+            qiskit_t > cuq_t,
+            "{fam:?}: qiskit must be the slowest baseline"
+        );
     }
 }
 
@@ -62,11 +85,37 @@ fn atlas_beats_qdao_beyond_gpu_memory() {
         .unwrap()
         .report
         .total_secs;
-    let qdao_t = baselines::qdao_run(&c, spec, cost, 24, 19).unwrap().report.total_secs;
+    let qdao_t = baselines::qdao_run(&c, spec, cost, 24, 19)
+        .unwrap()
+        .report
+        .total_secs;
     assert!(
         qdao_t > 5.0 * atlas_t,
         "QDAO ({qdao_t:.2}s) should trail Atlas ({atlas_t:.2}s) by far"
     );
+}
+
+#[test]
+fn qasm_roundtrip_gate_for_gate_on_every_family() {
+    // Bit-exact round-trip: the writer emits shortest-round-trip floats,
+    // so re-parsing must reproduce the exact gate list (kinds, parameters
+    // and qubits), not just equivalent semantics.
+    for fam in Family::table1() {
+        let c = fam.generate(8);
+        let back = qasm::from_qasm(&qasm::to_qasm(&c)).unwrap();
+        assert_eq!(back.num_qubits(), c.num_qubits(), "{fam:?}");
+        assert_eq!(back.gates(), c.gates(), "{fam:?}: gate lists differ");
+    }
+    // The non-Table-I generators round-trip too.
+    use atlas::circuit::generators;
+    for c in [
+        generators::hhl_padded(4, 9),
+        generators::qaoa(8),
+        generators::grover(8),
+    ] {
+        let back = qasm::from_qasm(&qasm::to_qasm(&c)).unwrap();
+        assert_eq!(back.gates(), c.gates(), "{}: gate lists differ", c.name());
+    }
 }
 
 proptest! {

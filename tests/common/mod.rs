@@ -1,5 +1,25 @@
-//! Shared helpers for the integration tests: a proptest strategy that
-//! generates arbitrary well-formed circuits over the full gate alphabet.
+//! Shared differential-correctness harness for the integration tests.
+//!
+//! Three ingredients every suite reuses:
+//!
+//! * [`arb_circuit`] — a proptest strategy generating arbitrary
+//!   well-formed circuits over the full gate alphabet;
+//! * the configuration space — [`all_staging_algos`], [`all_kernel_algos`]
+//!   and [`machine_shapes`] enumerate every `StagingAlgo`, every
+//!   `KernelAlgo` and a ladder of machine splits (single GPU, intra-node,
+//!   inter-node, many-shard) so tests can sweep the full cross product;
+//! * [`assert_matches_reference`] — runs the hierarchical pipeline under
+//!   one configuration and asserts amplitude-level agreement with the
+//!   dense reference simulator, with a diagnostic that names the exact
+//!   (circuit, algo, shape) combination on failure.
+//!
+//! Fixed-seed regression circuits live in [`regression_circuits`]: GHZ,
+//! QAOA and Grover from `circuit::generators`, whose internal seeding is
+//! deterministic, so a failing combination reproduces exactly.
+
+// Each integration-test binary compiles this module separately and uses a
+// different slice of it.
+#![allow(dead_code)]
 
 use atlas::prelude::*;
 use proptest::prelude::*;
@@ -9,7 +29,9 @@ fn pick_qubits(n: u32, k: usize, seed: u64) -> Vec<u32> {
     let mut qs: Vec<u32> = (0..n).collect();
     let mut s = seed | 1;
     for i in (1..qs.len()).rev() {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (s >> 33) as usize % (i + 1);
         qs.swap(i, j);
     }
@@ -54,4 +76,145 @@ pub fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
         }
         c
     })
+}
+
+/// Every staging algorithm `AtlasConfig` accepts.
+pub fn all_staging_algos() -> [StagingAlgo; 3] {
+    [
+        StagingAlgo::IlpSearch,
+        StagingAlgo::GenericIlp,
+        StagingAlgo::Snuqs,
+    ]
+}
+
+/// Every kernelization algorithm `AtlasConfig` accepts (the parameterized
+/// variants at their paper settings: greedy fusion at the cost-efficient
+/// 5 qubits, greedy hybrid at HyQuas' 6).
+pub fn all_kernel_algos() -> [KernelAlgo; 4] {
+    [
+        KernelAlgo::Dp,
+        KernelAlgo::Ordered,
+        KernelAlgo::Greedy(5),
+        KernelAlgo::GreedyHybrid(6),
+    ]
+}
+
+/// Machine shapes for an `n`-qubit circuit, smallest split first:
+/// single GPU (no communication), one node × 4 GPUs (regional all-to-alls
+/// only), 2 × 2 (inter-node), and — when the circuit is big enough to
+/// leave ≥ 3 local qubits — a 4 × 2 many-shard split with heavy
+/// remapping. Always at least three shapes for `n ≥ 5`.
+pub fn machine_shapes(n: u32) -> Vec<MachineSpec> {
+    let mut shapes = vec![
+        MachineSpec::single_gpu(n),
+        MachineSpec {
+            nodes: 1,
+            gpus_per_node: 4,
+            local_qubits: n - 2,
+        },
+        MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: n - 3,
+        },
+    ];
+    if n >= 7 {
+        shapes.push(MachineSpec {
+            nodes: 4,
+            gpus_per_node: 2,
+            local_qubits: n - 4,
+        });
+    }
+    shapes
+}
+
+/// Machine shapes for the exact `GenericIlp` staging: the from-scratch
+/// branch-and-bound is only tractable on mild splits (its documented
+/// contract), so it gets its own three-shape ladder — single GPU,
+/// intra-node, inter-node — with one non-local qubit each.
+pub fn generic_ilp_shapes(n: u32) -> Vec<MachineSpec> {
+    vec![
+        MachineSpec::single_gpu(n),
+        MachineSpec {
+            nodes: 1,
+            gpus_per_node: 4,
+            local_qubits: n - 1,
+        },
+        MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: n - 1,
+        },
+    ]
+}
+
+/// The shape ladder appropriate for a staging algorithm: deep splits for
+/// the scalable algorithms, the mild ladder for the exact ILP.
+pub fn shapes_for(staging: StagingAlgo, n: u32) -> Vec<MachineSpec> {
+    match staging {
+        StagingAlgo::GenericIlp => generic_ilp_shapes(n),
+        _ => machine_shapes(n),
+    }
+}
+
+/// Compact human-readable shape label for assertion messages.
+pub fn shape_label(spec: &MachineSpec) -> String {
+    format!(
+        "{}x{} L={}",
+        spec.nodes, spec.gpus_per_node, spec.local_qubits
+    )
+}
+
+/// The fixed-seed regression circuits: GHZ, QAOA (MaxCut ring, p = 2) and
+/// Grover, all from `circuit::generators` whose seeding is deterministic,
+/// sized so the full algorithm cross product stays fast.
+pub fn regression_circuits() -> Vec<Circuit> {
+    use atlas::circuit::generators;
+    vec![
+        generators::ghz(9),
+        generators::qaoa(8),
+        generators::grover(6),
+    ]
+}
+
+/// Runs the full Atlas pipeline under `cfg` and returns the final state.
+pub fn run_atlas_with(circuit: &Circuit, spec: MachineSpec, cfg: &AtlasConfig) -> StateVector {
+    simulate(circuit, spec, CostModel::default(), cfg, false)
+        .expect("simulation failed")
+        .state
+        .expect("functional run returns the state")
+}
+
+/// Runs the pipeline with the validation defaults.
+pub fn run_atlas(circuit: &Circuit, spec: MachineSpec) -> StateVector {
+    run_atlas_with(circuit, spec, &AtlasConfig::for_validation())
+}
+
+/// Differential check: the distributed pipeline under
+/// `(staging, kernelizer, spec)` must reproduce `simulate_reference`'s
+/// amplitudes on `circuit` to within `1e-9`.
+pub fn assert_matches_reference(
+    circuit: &Circuit,
+    spec: MachineSpec,
+    staging: StagingAlgo,
+    kernelizer: KernelAlgo,
+) {
+    let mut cfg = AtlasConfig::for_validation();
+    cfg.staging = staging;
+    cfg.kernelizer = kernelizer;
+    // Keep GenericIlp combinations fast: a tight budget makes the solver
+    // return its incumbent as `Feasible` instead of grinding for the
+    // optimality proof — the staging is still valid, which is all the
+    // differential check needs.
+    cfg.ilp_time_limit = std::time::Duration::from_millis(500);
+    cfg.ilp_node_limit = 200_000;
+    let got = run_atlas_with(circuit, spec, &cfg);
+    let want = simulate_reference(circuit);
+    let diff = got.max_abs_diff(&want);
+    assert!(
+        diff < 1e-9,
+        "{} under {staging:?} x {kernelizer:?} on {}: diverged by {diff:e}",
+        circuit.name(),
+        shape_label(&spec),
+    );
 }

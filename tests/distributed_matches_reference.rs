@@ -9,22 +9,18 @@ mod common;
 use atlas::prelude::*;
 use proptest::prelude::*;
 
-fn run_atlas(circuit: &Circuit, spec: MachineSpec) -> StateVector {
-    let cfg = AtlasConfig::for_validation();
-    simulate(circuit, spec, CostModel::default(), &cfg, false)
-        .expect("simulation failed")
-        .state
-        .expect("functional run returns the state")
-}
-
 #[test]
 fn every_family_on_a_16_gpu_cluster() {
     // 4 nodes × 4 GPUs, L = n-4: all sixteen shards exercised.
     for fam in Family::table1() {
         let n = 10;
         let circuit = fam.generate(n);
-        let spec = MachineSpec { nodes: 4, gpus_per_node: 4, local_qubits: n - 4 };
-        let got = run_atlas(&circuit, spec);
+        let spec = MachineSpec {
+            nodes: 4,
+            gpus_per_node: 4,
+            local_qubits: n - 4,
+        };
+        let got = common::run_atlas(&circuit, spec);
         let want = simulate_reference(&circuit);
         let diff = got.max_abs_diff(&want);
         assert!(diff < 1e-9, "{fam:?}: diverged by {diff}");
@@ -35,8 +31,12 @@ fn every_family_on_a_16_gpu_cluster() {
 fn hhl_case_study_circuit() {
     // The Table II workload (gates ≫ qubits), shrunk to a testable size.
     let circuit = atlas::circuit::generators::hhl_padded(5, 9);
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 6 };
-    let got = run_atlas(&circuit, spec);
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 6,
+    };
+    let got = common::run_atlas(&circuit, spec);
     let want = simulate_reference(&circuit);
     assert!(got.max_abs_diff(&want) < 1e-8);
 }
@@ -46,8 +46,12 @@ fn extreme_split_many_stages() {
     // L = 4 on 11 qubits: long stage chains, heavy remapping.
     for fam in [Family::Qft, Family::Su2Random, Family::Ae] {
         let circuit = fam.generate(11);
-        let spec = MachineSpec { nodes: 4, gpus_per_node: 2, local_qubits: 4 };
-        let got = run_atlas(&circuit, spec);
+        let spec = MachineSpec {
+            nodes: 4,
+            gpus_per_node: 2,
+            local_qubits: 4,
+        };
+        let got = common::run_atlas(&circuit, spec);
         let want = simulate_reference(&circuit);
         let diff = got.max_abs_diff(&want);
         assert!(diff < 1e-9, "{fam:?}: diverged by {diff}");
@@ -58,9 +62,17 @@ fn extreme_split_many_stages() {
 fn all_staging_algorithms_agree_functionally() {
     use atlas::core::config::StagingAlgo;
     let circuit = Family::QpeExact.generate(9);
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 6 };
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 6,
+    };
     let want = simulate_reference(&circuit);
-    for algo in [StagingAlgo::IlpSearch, StagingAlgo::GenericIlp, StagingAlgo::Snuqs] {
+    for algo in [
+        StagingAlgo::IlpSearch,
+        StagingAlgo::GenericIlp,
+        StagingAlgo::Snuqs,
+    ] {
         let mut cfg = AtlasConfig::for_validation();
         cfg.staging = algo;
         let got = simulate(&circuit, spec, CostModel::default(), &cfg, false)
@@ -75,7 +87,11 @@ fn all_staging_algorithms_agree_functionally() {
 fn all_kernelizers_agree_functionally() {
     use atlas::core::config::KernelAlgo;
     let circuit = Family::Vqc.generate(9);
-    let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 6 };
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 6,
+    };
     let want = simulate_reference(&circuit);
     for algo in [
         KernelAlgo::Dp,
@@ -109,7 +125,7 @@ proptest! {
             gpus_per_node: 2,
             local_qubits: l,
         };
-        let got = run_atlas(&circuit, spec);
+        let got = common::run_atlas(&circuit, spec);
         let want = simulate_reference(&circuit);
         prop_assert!(got.max_abs_diff(&want) < 1e-9,
             "diverged by {}", got.max_abs_diff(&want));

@@ -16,7 +16,10 @@ fn kgates(circuit: &Circuit) -> Vec<KGate> {
     circuit
         .gates()
         .iter()
-        .map(|g| KGate { mask: g.qubit_mask(), shm_ns: cm.shm_gate_unit_ns(g) })
+        .map(|g| KGate {
+            mask: g.qubit_mask(),
+            shm_ns: cm.shm_gate_unit_ns(g),
+        })
         .collect()
 }
 

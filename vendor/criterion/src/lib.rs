@@ -1,0 +1,281 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size` / `measurement_time` / `warm_up_time`, `bench_function`,
+//! and `Bencher::{iter, iter_batched, iter_batched_ref}` — as a plain
+//! wall-clock harness: warm-up for the configured duration, then repeat
+//! samples until the measurement budget is spent, reporting min / mean /
+//! max per-iteration time. No statistical analysis, plots, or saved
+//! baselines; swap in real criterion via `[workspace.dependencies]` when
+//! the registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped. The shim runs one input per iteration
+/// regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Re-export so benches can use `criterion::black_box` like the real crate.
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug)]
+struct BenchConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Top-level harness handle; hand it to the functions named in
+/// [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    config: BenchConfig,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n── group: {name} ──");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            config: BenchConfig::default(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.config;
+        run_bench(&id.into(), config, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: BenchConfig,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_bench(&full, self.config, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, config: BenchConfig, mut f: F) {
+    let mut b = Bencher {
+        config,
+        samples: Vec::new(),
+        warmed_up: false,
+    };
+    // Warm-up pass: run the closure without recording.
+    f(&mut b);
+    b.warmed_up = true;
+    b.samples.clear();
+    f(&mut b);
+    report(id, &b.samples);
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<44} (no samples)");
+        return;
+    }
+    let ns: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e9).collect();
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<44} [{} {} {}]  ({} samples)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Passed to each bench closure; records per-iteration timings.
+pub struct Bencher {
+    config: BenchConfig,
+    samples: Vec<Duration>,
+    warmed_up: bool,
+}
+
+impl Bencher {
+    fn budget(&self) -> (usize, Duration) {
+        if self.warmed_up {
+            (self.config.sample_size, self.config.measurement_time)
+        } else {
+            // Warm-up: a couple of iterations bounded by warm_up_time.
+            (2, self.config.warm_up_time)
+        }
+    }
+
+    /// Time `routine` back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let (samples, budget) = self.budget();
+        let start = Instant::now();
+        for _ in 0..samples {
+            let t = Instant::now();
+            black_box(routine());
+            self.samples.push(t.elapsed());
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Time `routine(input)` with setup excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let (samples, budget) = self.budget();
+        let start = Instant::now();
+        for _ in 0..samples {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+
+    /// Like [`iter_batched`](Self::iter_batched) but hands the routine a
+    /// mutable reference (input dropped outside the timing window).
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let (samples, budget) = self.budget();
+        let start = Instant::now();
+        for _ in 0..samples {
+            let mut input = setup();
+            let t = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(t.elapsed());
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+/// `criterion_group!(name, fn1, fn2, ...)` — declares `fn name()` that
+/// runs each target against a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group1, group2, ...)` — declares `fn main()`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        g.bench_function("counts", |b| b.iter(|| ran += 1));
+        g.finish();
+        // Warm-up + measurement both execute the routine.
+        assert!(ran >= 3, "routine ran {ran} times");
+    }
+
+    #[test]
+    fn iter_batched_ref_gets_fresh_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(4)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1));
+        g.bench_function("fresh", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 8],
+                |v| {
+                    assert!(v.iter().all(|&x| x == 0), "input was reused");
+                    v[0] = 1;
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
