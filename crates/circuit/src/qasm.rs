@@ -2,7 +2,7 @@
 //!
 //! Enough of the format to round-trip every circuit this workspace
 //! generates (one quantum register, the gate alphabet of
-//! [`GateKind`](crate::gate::GateKind)) — the same interchange shape the
+//! [`GateKind`]) — the same interchange shape the
 //! paper's artifact uses for MQT-Bench circuits.
 
 use crate::circuit::Circuit;

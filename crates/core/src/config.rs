@@ -60,6 +60,13 @@ pub struct AtlasConfig {
     /// reproduce the paper's timing leave it off, as the paper reports the
     /// simulation time with the final layout in place).
     pub final_unpermute: bool,
+    /// Host threads the functional executor may use: independent shard
+    /// kernels run concurrently across this many workers (one per
+    /// simulated GPU), falling back to intra-shard group parallelism when
+    /// shards are fewer than threads. `1` (the default) is fully serial.
+    /// Amplitudes are bit-identical for every value — only wall-clock
+    /// changes. Dry-run mode ignores it (the clock model is not threaded).
+    pub threads: usize,
 }
 
 impl Default for AtlasConfig {
@@ -74,6 +81,7 @@ impl Default for AtlasConfig {
             staging: StagingAlgo::IlpSearch,
             kernelizer: KernelAlgo::Dp,
             final_unpermute: false,
+            threads: 1,
         }
     }
 }

@@ -25,9 +25,11 @@ use crate::kernelize::{self, KGate, KernelCost, Kernelization};
 use crate::plan::{Kernel, KernelKind, Stage};
 use crate::staging::{self, StagingOutcome};
 use atlas_circuit::{insular, Circuit, Gate};
-use atlas_machine::{CostModel, Machine};
+use atlas_machine::{CostModel, Machine, ShardOp, ShardProgram};
 use atlas_qmath::{Complex64, Matrix, QubitPermutation};
+use atlas_statevec::{classify_kernel, FastKernel, Pool};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// One non-local (insular) qubit of a gate, read per shard.
 #[derive(Clone, Copy, Debug)]
@@ -293,7 +295,41 @@ fn reduce_for_pattern(gate: &Gate, reads: &[ReadBit], shard_bits: u64, l: u32) -
 /// The machine must have been initialized with the `|0…0⟩` state (any bit
 /// layout represents it identically) or pre-permuted into stage 0's
 /// layout by the caller.
+///
+/// In functional mode with `cfg.threads > 1`, a persistent worker pool is
+/// spawned for the whole run: each stage's independent shard kernels
+/// execute concurrently across the workers, and the all-to-all reshuffles
+/// between stages act as barriers (they run on this thread while the
+/// workers are parked). Amplitudes are bit-identical for every thread
+/// count.
 pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &AtlasConfig) {
+    // Dry runs never touch amplitudes, so the pool would only idle.
+    let threads = if machine.is_dry() {
+        1
+    } else {
+        cfg.threads.max(1)
+    };
+    if threads > 1 && machine.num_shards() >= threads {
+        // Enough independent shards to keep every worker busy.
+        atlas_statevec::with_pool(threads, |pool| {
+            execute_on(machine, circuit, plan, cfg, pool)
+        });
+    } else {
+        // Fewer shards than threads (or serial): no workers to park —
+        // shards run inline and each kernel spends the budget on
+        // intra-shard group parallelism instead.
+        execute_on(machine, circuit, plan, cfg, &Pool::inline(threads));
+    }
+}
+
+/// The body of [`execute`], parameterized on the worker pool.
+fn execute_on(
+    machine: &mut Machine,
+    circuit: &Circuit,
+    plan: &FullPlan,
+    cfg: &AtlasConfig,
+    pool: &Pool,
+) {
     let n = circuit.num_qubits();
     let l = plan.l;
     let num_shards = machine.num_shards();
@@ -313,7 +349,7 @@ pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &
             carried_flips = 0;
         }
 
-        execute_stage(machine, circuit, sp, l, num_shards);
+        execute_stage(machine, circuit, sp, l, num_shards, pool);
         carried_flips ^= sp.flips;
         machine.stage_barrier();
         prev_mapping = Some(&sp.mapping);
@@ -355,85 +391,128 @@ fn execute_stage(
     sp: &StagePlan,
     l: u32,
     num_shards: usize,
+    pool: &Pool,
 ) {
-    let dry = machine.is_dry();
-    // Per-shard scalar from the fully-reduced gates.
-    let mut shard_scalars: Vec<Complex64> = vec![Complex64::ONE; num_shards];
-    if !dry {
-        let mut cache: HashMap<(usize, u64), Complex64> = HashMap::new();
-        for (si, st) in sp.scalars.iter().enumerate() {
-            let gate = &circuit.gates()[st.circuit_gate];
-            for (s, acc) in shard_scalars.iter_mut().enumerate() {
-                let key_bits = pattern_bits(&st.reads, s as u64, l);
-                let scalar = *cache.entry((si, key_bits)).or_insert_with(|| {
-                    let m = reduce_for_pattern(gate, &st.reads, s as u64, l);
-                    debug_assert_eq!(m.rows(), 1);
-                    m[(0, 0)]
-                });
-                *acc *= scalar;
+    if machine.is_dry() {
+        // Dry runs only need the clock charges — skip matrix construction
+        // entirely (paper-scale shapes have millions of shard-kernels).
+        for kernel in &sp.kernels {
+            match kernel.kind {
+                KernelKind::Fusion => {
+                    for s in 0..num_shards {
+                        machine.run_fusion_kernel_dry(s, kernel.qubits.len() as u32);
+                    }
+                }
+                KernelKind::SharedMemory => {
+                    let per_amp: f64 = kernel.gates.iter().map(|&t| sp.templates[t].shm_ns).sum();
+                    let active = shm_active_set(&kernel.qubits, l);
+                    for s in 0..num_shards {
+                        machine.run_shm_kernel_parts(s, &active, &[], per_amp);
+                    }
+                }
             }
         }
+        return;
     }
+    let programs = build_stage_programs(circuit, sp, l, num_shards);
+    machine.run_shard_programs(&programs, pool);
+}
 
-    // Kernels: per kernel, per shard — specialize and launch.
+/// Compiles one stage into a per-shard instruction sequence: insular
+/// specialization per shard pattern, fused-matrix structure classification
+/// ([`classify_kernel`]) shared across shards with equal patterns, and the
+/// per-shard scalar folded into the first kernel that accepts it.
+///
+/// This is deliberately independent of the thread count — serial and
+/// parallel execution run the *same* programs, which is what makes the
+/// engine's output bit-identical across thread counts.
+fn build_stage_programs(
+    circuit: &Circuit,
+    sp: &StagePlan,
+    l: u32,
+    num_shards: usize,
+) -> Vec<ShardProgram> {
+    // Per-shard scalar from the fully-reduced gates.
+    let mut shard_scalars: Vec<Complex64> = vec![Complex64::ONE; num_shards];
+    let mut cache: HashMap<(usize, u64), Complex64> = HashMap::new();
+    for (si, st) in sp.scalars.iter().enumerate() {
+        let gate = &circuit.gates()[st.circuit_gate];
+        for (s, acc) in shard_scalars.iter_mut().enumerate() {
+            let key_bits = pattern_bits(&st.reads, s as u64, l);
+            let scalar = *cache.entry((si, key_bits)).or_insert_with(|| {
+                let m = reduce_for_pattern(gate, &st.reads, s as u64, l);
+                debug_assert_eq!(m.rows(), 1);
+                m[(0, 0)]
+            });
+            *acc *= scalar;
+        }
+    }
     let mut scalar_pending: Vec<bool> = shard_scalars
         .iter()
         .map(|sc| !sc.approx_eq(Complex64::ONE, 0.0))
         .collect();
+
+    let mut programs: Vec<ShardProgram> = vec![Vec::new(); num_shards];
     for kernel in &sp.kernels {
         match kernel.kind {
             KernelKind::Fusion => {
-                let mut cache: HashMap<u64, Matrix> = HashMap::new();
-                for s in 0..num_shards {
-                    if dry {
-                        machine.run_fusion_kernel_dry(s, kernel.qubits.len() as u32);
-                        continue;
-                    }
+                let qubits = Arc::new(kernel.qubits.clone());
+                let mut compiled: HashMap<u64, Arc<FastKernel>> = HashMap::new();
+                for (s, prog) in programs.iter_mut().enumerate() {
                     let key = kernel_pattern(sp, kernel, s as u64, l);
-                    let fused = cache
+                    let fk = compiled
                         .entry(key)
-                        .or_insert_with(|| build_fused(circuit, sp, kernel, s as u64, l));
-                    // Fold the shard scalar into the first kernel for free.
-                    if scalar_pending[s] {
-                        let mut m = fused.clone();
-                        scale_matrix(&mut m, shard_scalars[s]);
-                        machine.run_fusion_kernel(s, &kernel.qubits, &m);
+                        .or_insert_with(|| {
+                            Arc::new(classify_kernel(&build_fused(
+                                circuit, sp, kernel, s as u64, l,
+                            )))
+                        })
+                        .clone();
+                    // Fold the shard scalar into the first kernel whose
+                    // fast form accepts it for free.
+                    let mut scale = Complex64::ONE;
+                    if scalar_pending[s] && fk.can_fold_scale() {
+                        scale = shard_scalars[s];
                         scalar_pending[s] = false;
-                    } else {
-                        machine.run_fusion_kernel(s, &kernel.qubits, fused);
                     }
+                    prog.push(ShardOp::Fusion {
+                        qubits: qubits.clone(),
+                        kernel: fk,
+                        scale,
+                    });
                 }
             }
             KernelKind::SharedMemory => {
                 let per_amp: f64 = kernel.gates.iter().map(|&t| sp.templates[t].shm_ns).sum();
-                let active = shm_active_set(&kernel.qubits, l);
-                for s in 0..num_shards {
-                    if dry {
-                        machine.run_shm_kernel_parts(s, &active, &[], per_amp);
-                        continue;
-                    }
+                for (s, prog) in programs.iter_mut().enumerate() {
                     let mut parts: Vec<(Vec<u32>, Matrix)> = Vec::new();
                     for &t in &kernel.gates {
                         let tp = &sp.templates[t];
                         let gate = &circuit.gates()[tp.circuit_gate];
                         let m = reduce_for_pattern(gate, &tp.reads, s as u64, l);
+                        debug_assert!(tp.local_phys.iter().all(|&q| q < l));
                         parts.push((tp.local_phys.clone(), m));
                     }
                     if scalar_pending[s] {
                         parts.push((Vec::new(), scalar_matrix(shard_scalars[s])));
                         scalar_pending[s] = false;
                     }
-                    machine.run_shm_kernel_parts(s, &active, &parts, per_amp);
+                    prog.push(ShardOp::ShmParts {
+                        parts,
+                        per_amp_ns: per_amp,
+                    });
                 }
             }
         }
     }
-    // Shards whose scalar never got folded (stage without kernels).
-    for s in 0..num_shards {
+    // Shards whose scalar never got folded (stage without eligible
+    // kernels): a standalone scale pass.
+    for (s, prog) in programs.iter_mut().enumerate() {
         if scalar_pending[s] {
-            machine.scale_shard(s, shard_scalars[s]);
+            prog.push(ShardOp::Scale(shard_scalars[s]));
         }
     }
+    programs
 }
 
 /// The pattern key of a kernel for one shard: the raw shard bits of every
@@ -471,14 +550,6 @@ fn build_fused(
         acc = &expanded * &acc;
     }
     acc
-}
-
-fn scale_matrix(m: &mut Matrix, s: Complex64) {
-    for r in 0..m.rows() {
-        for c in 0..m.cols() {
-            m[(r, c)] *= s;
-        }
-    }
 }
 
 fn scalar_matrix(s: Complex64) -> Matrix {

@@ -31,6 +31,23 @@ use super::{
 };
 use crate::plan::{Kernel, KernelKind};
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+/// Deterministically-seeded hash map for the DP state population.
+///
+/// The std `RandomState` hasher randomizes iteration order per map
+/// instance, and this DP breaks cost *ties* by iteration order (snapshot
+/// order decides which equal-cost state reaches `next` first, and
+/// `min_by` returns the first minimum) — with random seeds, two identical
+/// `kernelize` calls could return different equally-optimal
+/// kernelizations, making end-to-end amplitudes differ at the ulp level
+/// between runs. A fixed-key hasher makes tie-breaking reproducible,
+/// which the executor's bit-identical-across-thread-counts guarantee
+/// relies on. (HashDoS resistance is irrelevant: keys are internal DP
+/// state, not attacker input.)
+type DetMap<K, V> = HashMap<K, V, BuildHasherDefault<std::collections::hash_map::DefaultHasher>>;
+type DetSet<K> =
+    std::collections::HashSet<K, BuildHasherDefault<std::collections::hash_map::DefaultHasher>>;
 
 /// Sentinel for "extensible set = all qubits".
 const ALL: u64 = u64::MAX;
@@ -239,19 +256,21 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
         fusion_pack_size,
     };
 
-    let mut states: HashMap<Vec<u64>, State> = HashMap::from([(
+    let mut states: DetMap<Vec<u64>, State> = DetMap::default();
+    states.insert(
         Vec::new(),
         State {
             open: Vec::new(),
             closed_head: NONE,
             cost: 0.0,
         },
-    )]);
+    );
 
     for (i, item) in items.iter().enumerate() {
         let m = item.mask;
         let snapshot: Vec<State> = states.values().cloned().collect();
-        let mut next: HashMap<Vec<u64>, State> = HashMap::with_capacity(snapshot.len() * 2);
+        let mut next: DetMap<Vec<u64>, State> =
+            DetMap::with_capacity_and_hasher(snapshot.len() * 2, Default::default());
         for st in &snapshot {
             // ----- placement options -----
             let subsume = st.open.iter().position(|k| {
@@ -430,8 +449,7 @@ pub fn run(gates: &[KGate], cost: &KernelCost, threshold: usize) -> Kernelizatio
                 .collect();
             scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
             let keep = (threshold / 2).max(1);
-            let keys: std::collections::HashSet<Vec<u64>> =
-                scored.into_iter().take(keep).map(|(_, k)| k).collect();
+            let keys: DetSet<Vec<u64>> = scored.into_iter().take(keep).map(|(_, k)| k).collect();
             next.retain(|k, _| keys.contains(k));
         }
         states = next;

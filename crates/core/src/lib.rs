@@ -15,7 +15,8 @@
 //!   across the machine, run each stage's kernels per shard with
 //!   insular-qubit specialization, and perform the all-to-all qubit
 //!   remapping between stages.
-//! * [`simulate`] — the **SIMULATE** driver tying it all together.
+//! * [`simulate`](mod@simulate) — the **SIMULATE** driver tying it all
+//!   together.
 
 pub mod config;
 pub mod exec;

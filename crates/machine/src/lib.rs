@@ -18,12 +18,14 @@
 //! are charged from an exact per-(source, destination)-shard traffic matrix
 //! (see [`traffic`]).
 
+#![deny(missing_docs)]
+
 pub mod cost;
 pub mod machine;
 pub mod topology;
 pub mod traffic;
 
 pub use cost::CostModel;
-pub use machine::{Machine, MachineReport, StageTiming};
+pub use machine::{Machine, MachineReport, ShardOp, ShardProgram, StageTiming};
 pub use topology::MachineSpec;
 pub use traffic::{traffic_matrix, TrafficEntry};

@@ -6,7 +6,61 @@ use crate::topology::MachineSpec;
 use crate::traffic::traffic_matrix;
 use atlas_circuit::Gate;
 use atlas_qmath::{Complex64, Matrix, QubitPermutation};
-use atlas_statevec::{apply_batched, apply_matrix, StateVector};
+use atlas_statevec::{apply_batched, apply_matrix, FastKernel, Pool, StateVector};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// One instruction of a per-shard program: the executor compiles each
+/// stage's kernels into one [`ShardProgram`] per shard, and the machine
+/// runs the programs of independent shards concurrently (the simulated
+/// GPUs really do run in parallel on host threads).
+#[derive(Clone, Debug)]
+pub enum ShardOp {
+    /// A fusion kernel over local qubit positions, pre-classified into its
+    /// fast form, with a per-shard scalar folded in where possible.
+    Fusion {
+        /// Kernel qubit positions (all `< L`), shared across shards.
+        qubits: Arc<Vec<u32>>,
+        /// The compiled kernel (shared between shards with equal insular
+        /// bit patterns).
+        kernel: Arc<FastKernel>,
+        /// Scalar folded into the kernel entries (`ONE` when absent).
+        scale: Complex64,
+    },
+    /// A shared-memory kernel: per-shard specialized (qubits, unitary)
+    /// parts applied in order. The shared-memory active window only
+    /// matters for the cost model (already folded into `per_amp_ns` by
+    /// the planner) — functionally each part is a whole-shard pass.
+    ShmParts {
+        /// The specialized parts, in program order.
+        parts: Vec<(Vec<u32>, Matrix)>,
+        /// Plan-level per-amplitude gate cost (ns) charged for the kernel.
+        per_amp_ns: f64,
+    },
+    /// Multiply the whole shard by a scalar (insular factor that could not
+    /// fold into any kernel).
+    Scale(
+        /// The scalar factor.
+        Complex64,
+    ),
+}
+
+/// The compiled instruction sequence one shard executes within a stage.
+pub type ShardProgram = Vec<ShardOp>;
+
+/// Shared mutable view of the shard buffers for provably disjoint
+/// per-shard writes (worker `s` only touches `shards[s]`).
+struct ShardCell<'a>(&'a [UnsafeCell<Vec<Complex64>>]);
+unsafe impl Sync for ShardCell<'_> {}
+
+impl ShardCell<'_> {
+    /// # Safety
+    /// Caller must guarantee shard `s` is not accessed concurrently.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn shard_mut(&self, s: usize) -> &mut Vec<Complex64> {
+        &mut *self.0[s].get()
+    }
+}
 
 /// Simulated time spent in one bulk-synchronous step.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -154,16 +208,39 @@ impl Machine {
     // ------------------------------------------------------------------
     // Kernel execution
     // ------------------------------------------------------------------
+    //
+    // The charge_* helpers below are the single home of each kernel-cost
+    // formula: both the direct per-kernel launch methods and the
+    // program-based engine (`run_shard_programs`) charge through them, so
+    // a cost-model change cannot desynchronize the two paths.
+
+    /// Charges shard `s`'s GPU for a `k`-qubit fusion kernel.
+    fn charge_fusion(&mut self, s: usize, k: u32) {
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.fusion_kernel_secs(k, self.shard_len());
+        self.kernels += 1;
+    }
+
+    /// Charges shard `s`'s GPU for a shared-memory kernel with the given
+    /// plan-level per-amplitude gate cost.
+    fn charge_shm(&mut self, s: usize, per_amp_ns: f64) {
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.kernel_launch_us * 1e-6
+            + self.shard_len() as f64 * (self.cost.shm_alpha_ns + per_amp_ns) * 1e-9;
+        self.kernels += 1;
+    }
+
+    /// Charges shard `s`'s GPU for one whole-shard scale pass.
+    fn charge_scale(&mut self, s: usize) {
+        let gpu = self.spec.gpu_of_shard(self.n, s);
+        self.pending[gpu] += self.cost.scale_pass_secs(self.shard_len());
+    }
 
     /// Runs a fusion kernel: a dense `2^k × 2^k` unitary over local qubit
     /// positions `qubits` (all `< L`) on shard `s`.
     pub fn run_fusion_kernel(&mut self, s: usize, qubits: &[u32], matrix: &Matrix) {
         debug_assert!(qubits.iter().all(|&q| q < self.spec.local_qubits));
-        let gpu = self.spec.gpu_of_shard(self.n, s);
-        self.pending[gpu] += self
-            .cost
-            .fusion_kernel_secs(qubits.len() as u32, self.shard_len());
-        self.kernels += 1;
+        self.charge_fusion(s, qubits.len() as u32);
         if !self.dry {
             apply_matrix(&mut self.shards[s], qubits, matrix);
         }
@@ -185,9 +262,7 @@ impl Machine {
     /// the dry-run twin of [`Machine::run_fusion_kernel`], sparing matrix
     /// construction at paper scale.
     pub fn run_fusion_kernel_dry(&mut self, s: usize, k: u32) {
-        let gpu = self.spec.gpu_of_shard(self.n, s);
-        self.pending[gpu] += self.cost.fusion_kernel_secs(k, self.shard_len());
-        self.kernels += 1;
+        self.charge_fusion(s, k);
     }
 
     /// Runs a shared-memory kernel from pre-specialized parts: each part is
@@ -203,14 +278,87 @@ impl Machine {
         per_amp_ns: f64,
     ) {
         debug_assert!(active.iter().all(|&q| q < self.spec.local_qubits));
-        let gpu = self.spec.gpu_of_shard(self.n, s);
-        self.pending[gpu] += self.cost.kernel_launch_us * 1e-6
-            + self.shard_len() as f64 * (self.cost.shm_alpha_ns + per_amp_ns) * 1e-9;
-        self.kernels += 1;
+        self.charge_shm(s, per_amp_ns);
         if !self.dry {
             for (qs, m) in parts {
                 apply_matrix(&mut self.shards[s], qs, m);
             }
+        }
+    }
+
+    /// Executes one compiled [`ShardProgram`] per shard — the parallel
+    /// execution engine behind `EXECUTE` in functional mode.
+    ///
+    /// Cost accounting runs first, sequentially and deterministically
+    /// (identical regardless of thread count); the functional amplitude
+    /// work then runs on `pool`:
+    ///
+    /// * shards ≥ pool threads — one worker per shard, every simulated
+    ///   GPU's kernels genuinely concurrent;
+    /// * shards < pool threads — shards run in sequence, and each kernel
+    ///   falls back to intra-shard parallelism over its index groups
+    ///   (`atlas_statevec::parallel`).
+    ///
+    /// Both schedules produce bit-identical amplitudes: every kernel's
+    /// parallel form performs the same floating-point operations as its
+    /// serial form, only distributed differently.
+    pub fn run_shard_programs(&mut self, programs: &[ShardProgram], pool: &Pool) {
+        assert_eq!(programs.len(), self.num_shards());
+        for (s, prog) in programs.iter().enumerate() {
+            for op in prog {
+                match op {
+                    ShardOp::Fusion {
+                        qubits,
+                        kernel,
+                        scale,
+                    } => {
+                        self.charge_fusion(s, qubits.len() as u32);
+                        // A scale the kernel cannot absorb costs
+                        // `apply_kernel` a real extra whole-shard pass
+                        // (Controlled kernels); charge it to match.
+                        if !scale.approx_eq(Complex64::ONE, 0.0) && !kernel.can_fold_scale() {
+                            self.charge_scale(s);
+                        }
+                    }
+                    ShardOp::ShmParts { per_amp_ns, .. } => self.charge_shm(s, *per_amp_ns),
+                    ShardOp::Scale(f) => {
+                        if !f.approx_eq(Complex64::ONE, 0.0) {
+                            self.charge_scale(s);
+                        }
+                    }
+                }
+            }
+        }
+        if self.dry {
+            return;
+        }
+        let num_shards = self.shards.len();
+        // Fewer shards than workers: keep shards sequential and spend the
+        // threads inside each kernel instead.
+        let within = if num_shards < pool.threads() {
+            pool.threads()
+        } else {
+            1
+        };
+        if within > 1 {
+            for (s, prog) in programs.iter().enumerate() {
+                run_program(&mut self.shards[s], prog, within);
+            }
+        } else {
+            // SAFETY: Vec<Complex64> and UnsafeCell<Vec<Complex64>> have
+            // identical layout; each pool item `s` only touches shard `s`.
+            let cell = ShardCell(unsafe {
+                std::slice::from_raw_parts(
+                    self.shards.as_mut_ptr() as *const UnsafeCell<Vec<Complex64>>,
+                    num_shards,
+                )
+            });
+            let cell = &cell;
+            pool.run(num_shards, &|s| {
+                // SAFETY: disjoint indices per item, see above.
+                let amps = unsafe { cell.shard_mut(s) };
+                run_program(amps, &programs[s], 1);
+            });
         }
     }
 
@@ -220,8 +368,7 @@ impl Machine {
         if factor.approx_eq(Complex64::ONE, 0.0) {
             return;
         }
-        let gpu = self.spec.gpu_of_shard(self.n, s);
-        self.pending[gpu] += self.cost.scale_pass_secs(self.shard_len());
+        self.charge_scale(s);
         if !self.dry {
             for a in &mut self.shards[s] {
                 *a *= factor;
@@ -404,6 +551,27 @@ impl Machine {
     }
 }
 
+/// Applies one shard's program to its amplitude buffer with up to
+/// `threads` threads of intra-shard parallelism. Bit-identical for any
+/// `threads` value (see [`atlas_statevec::parallel`]).
+fn run_program(amps: &mut [Complex64], prog: &ShardProgram, threads: usize) {
+    for op in prog {
+        match op {
+            ShardOp::Fusion {
+                qubits,
+                kernel,
+                scale,
+            } => atlas_statevec::apply_kernel(amps, qubits, kernel, *scale, threads),
+            ShardOp::ShmParts { parts, .. } => {
+                for (qs, m) in parts {
+                    atlas_statevec::parallel::apply_reduced(amps, qs, m, threads);
+                }
+            }
+            ShardOp::Scale(f) => atlas_statevec::parallel::scale_parallel(amps, *f, threads),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +692,64 @@ mod tests {
         assert!(r.swap_secs > 0.0, "offload must charge swap time");
         let expect_swap = 4.0 * 2.0 * CostModel::default().pcie_transfer_secs(8);
         assert!((r.swap_secs - expect_swap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shard_programs_match_direct_kernels_and_charge_identically() {
+        use atlas_statevec::classify_kernel;
+        // Prepare a dense 5-qubit state split into 4 shards.
+        let mut prep = Circuit::new(5);
+        for q in 0..5 {
+            prep.h(q);
+            prep.rz(0.2 * (q + 1) as f64, q);
+        }
+        let reference = simulate_reference(&prep);
+        let h = Gate::new(GateKind::H, &[1]).matrix();
+        let cp = Gate::new(GateKind::CP(0.6), &[0, 2]).matrix();
+
+        // Old-style direct kernel launches.
+        let mut direct = Machine::with_state(small_spec(), CostModel::default(), &reference);
+        for s in 0..direct.num_shards() {
+            direct.run_fusion_kernel(s, &[1], &h);
+            direct.run_fusion_kernel(s, &[0, 2], &cp);
+            direct.scale_shard(s, Complex64::cis(0.3));
+        }
+        direct.stage_barrier();
+
+        // Same work as shard programs, serial pool and a 3-thread pool.
+        for threads in [1usize, 3] {
+            let mut engine = Machine::with_state(small_spec(), CostModel::default(), &reference);
+            let programs: Vec<ShardProgram> = (0..engine.num_shards())
+                .map(|_| {
+                    vec![
+                        ShardOp::Fusion {
+                            qubits: Arc::new(vec![1]),
+                            kernel: Arc::new(classify_kernel(&h)),
+                            scale: Complex64::ONE,
+                        },
+                        ShardOp::Fusion {
+                            qubits: Arc::new(vec![0, 2]),
+                            kernel: Arc::new(classify_kernel(&cp)),
+                            scale: Complex64::ONE,
+                        },
+                        ShardOp::Scale(Complex64::cis(0.3)),
+                    ]
+                })
+                .collect();
+            atlas_statevec::with_pool(threads, |pool| {
+                engine.run_shard_programs(&programs, pool);
+            });
+            engine.stage_barrier();
+            assert!(
+                engine
+                    .gather_state()
+                    .approx_eq(&direct.gather_state(), 1e-10),
+                "t={threads}: engine diverged from direct kernels"
+            );
+            let (re, rd) = (engine.report(), direct.report());
+            assert_eq!(re.kernels, rd.kernels);
+            assert!((re.compute_secs - rd.compute_secs).abs() < 1e-12);
+        }
     }
 
     #[test]

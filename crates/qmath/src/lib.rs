@@ -10,6 +10,8 @@
 //! hot paths (complex multiply-add, index gather) are `#[inline]` and free of
 //! heap traffic, per the project's HPC guidelines.
 
+#![deny(missing_docs)]
+
 pub mod bits;
 pub mod complex;
 pub mod matrix;

@@ -22,6 +22,11 @@ use crate::apply::apply_gate;
 /// Every gate's qubits must lie inside `active_qubits`. The slice length
 /// must be `2^n` with `n ≥ |active_qubits|`.
 ///
+/// Complexity: one read + one write of the full state per **kernel**
+/// (2 × 2^n amplitude moves) plus the per-gate work inside the
+/// `2^b`-element buffer — versus one read + write per **gate** on the
+/// unbatched path, which is the entire point of shared-memory grouping.
+///
 /// # Panics
 /// If a gate touches a qubit outside the active set.
 pub fn apply_batched(amps: &mut [Complex64], active_qubits: &[u32], gates: &[Gate]) {

@@ -5,7 +5,7 @@
 //! the same thing cuQuantum's apply-matrix does on a real GPU.
 
 use atlas_circuit::Gate;
-use atlas_qmath::{extract_bits, Matrix};
+use atlas_qmath::{extract_bits, Complex64, Matrix};
 
 /// Embeds a gate unitary `m` (over `gate_qubits`, matrix bit `t` =
 /// `gate_qubits[t]`) into the space of `kernel_qubits` (kernel bit `t` =
@@ -64,6 +64,237 @@ pub fn fuse_matrices(kernel_qubits: &[u32], parts: &[(Vec<u32>, Matrix)]) -> Mat
         acc = &expanded * &acc;
     }
     acc
+}
+
+/// Absolute tolerance for structure detection in [`classify_kernel`].
+///
+/// Fused matrices are products of exact gate unitaries, so structural
+/// zeros are either exactly 0.0 or rounding residue a few ulps above it;
+/// 1e-12 is far above any residue a ≤ 7-qubit product can accumulate and
+/// far below any genuine matrix entry (gate entries are O(1)).
+pub const KERNEL_CLASSIFY_TOL: f64 = 1e-12;
+
+/// A fused kernel matrix compiled into the cheapest applicable form.
+///
+/// Atlas fusion kernels are dense `2^k × 2^k` products, but real circuits
+/// produce heavily structured products — diagonal (phase-only gate runs),
+/// permutation-with-phases (X/CX/swap-like), and controlled blocks — for
+/// which the dense `O(4^k)`-per-group multiply is mostly wasted work.
+/// [`classify_kernel`] inspects the matrix once at plan-specialization
+/// time; [`apply_kernel`] then dispatches to the matching fast path in
+/// [`crate::apply`] / [`crate::parallel`].
+#[derive(Clone, Debug)]
+pub enum FastKernel {
+    /// The identity — applying it is a no-op.
+    Identity,
+    /// Diagonal matrix: amplitude `i` is scaled by `diag[bits(i)]`.
+    /// One multiply per amplitude, no gather/scatter.
+    Diagonal(
+        /// The diagonal entries, indexed by the kernel basis state.
+        Vec<Complex64>,
+    ),
+    /// Permutation with phases: basis state `x` maps to `dst[x]` with
+    /// factor `phase[x]`. `O(2^k)` per group instead of `O(4^k)`.
+    Permutation {
+        /// Destination basis index for each source basis index.
+        dst: Vec<u32>,
+        /// Phase factor applied to each source basis index.
+        phase: Vec<Complex64>,
+    },
+    /// Identity unless every control bit is set; then `matrix` acts on the
+    /// target bits. Skips a `2^|controls|` fraction of the state.
+    Controlled {
+        /// Kernel-bit positions acting as controls.
+        controls: Vec<u32>,
+        /// Kernel-bit positions the sub-matrix acts on.
+        targets: Vec<u32>,
+        /// The unitary over `targets`, already projected.
+        matrix: Matrix,
+    },
+    /// No exploitable structure — dense gather/multiply/scatter.
+    Dense(Matrix),
+}
+
+impl FastKernel {
+    /// `true` if a per-shard scalar can be folded into this kernel's
+    /// entries for free (everything but `Controlled`, whose untouched
+    /// subspace must not be scaled).
+    pub fn can_fold_scale(&self) -> bool {
+        !matches!(self, FastKernel::Controlled { .. })
+    }
+}
+
+/// `true` if bit `p` of the kernel index acts as a control for `m`: the
+/// matrix is identity on the `p = 0` subspace and never mixes the two
+/// halves.
+fn is_control_bit(m: &Matrix, p: u32) -> bool {
+    let dim = m.rows();
+    let pbit = 1usize << p;
+    for r in 0..dim {
+        for c in 0..dim {
+            if r & pbit != 0 && c & pbit != 0 {
+                continue; // the controlled block is unconstrained
+            }
+            let want = if r == c {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
+            if !m[(r, c)].approx_eq(want, KERNEL_CLASSIFY_TOL) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Inspects a fused kernel matrix and compiles it to its fast form.
+///
+/// Detection order matters: diagonal ⊂ is checked before permutation
+/// (every diagonal is a trivial permutation, but the diagonal path is
+/// cheaper), and controlled last (a fully-controlled phase is diagonal, a
+/// controlled-X is a permutation — both already caught).
+pub fn classify_kernel(m: &Matrix) -> FastKernel {
+    let dim = m.rows();
+    debug_assert_eq!(dim, m.cols());
+    let k = dim.trailing_zeros();
+    if m.is_diagonal(KERNEL_CLASSIFY_TOL) {
+        let diag: Vec<Complex64> = (0..dim).map(|i| m[(i, i)]).collect();
+        if diag
+            .iter()
+            .all(|d| d.approx_eq(Complex64::ONE, KERNEL_CLASSIFY_TOL))
+        {
+            return FastKernel::Identity;
+        }
+        return FastKernel::Diagonal(diag);
+    }
+    // Permutation: exactly one non-negligible entry per column (unitarity
+    // then guarantees one per row).
+    let mut dst = Vec::with_capacity(dim);
+    let mut phase = Vec::with_capacity(dim);
+    let mut seen_rows = vec![false; dim];
+    let mut is_perm = true;
+    'cols: for c in 0..dim {
+        let mut hit: Option<usize> = None;
+        for r in 0..dim {
+            if !m[(r, c)].is_zero(KERNEL_CLASSIFY_TOL) {
+                if hit.is_some() {
+                    is_perm = false;
+                    break 'cols;
+                }
+                hit = Some(r);
+            }
+        }
+        match hit {
+            Some(r) if !seen_rows[r] => {
+                seen_rows[r] = true;
+                dst.push(r as u32);
+                phase.push(m[(r, c)]);
+            }
+            _ => {
+                is_perm = false;
+                break;
+            }
+        }
+    }
+    if is_perm {
+        return FastKernel::Permutation { dst, phase };
+    }
+    // Controlled structure: collect every kernel bit acting as a control.
+    let controls: Vec<u32> = (0..k).filter(|&p| is_control_bit(m, p)).collect();
+    if !controls.is_empty() {
+        let cmask: usize = controls.iter().fold(0, |acc, &p| acc | (1usize << p));
+        let targets: Vec<u32> = (0..k).filter(|p| !controls.contains(p)).collect();
+        let tdim = 1usize << targets.len();
+        let expand = |sub: usize| -> usize {
+            let mut full = cmask;
+            for (t, &p) in targets.iter().enumerate() {
+                full |= ((sub >> t) & 1) << p;
+            }
+            full
+        };
+        let mut sub = Matrix::zeros(tdim, tdim);
+        for r in 0..tdim {
+            for c in 0..tdim {
+                sub[(r, c)] = m[(expand(r), expand(c))];
+            }
+        }
+        return FastKernel::Controlled {
+            controls,
+            targets,
+            matrix: sub,
+        };
+    }
+    FastKernel::Dense(m.clone())
+}
+
+/// Applies a compiled kernel over physical qubit positions `qubits`,
+/// folding the scalar `scale` in for free where the form allows it, with
+/// up to `threads` threads of intra-shard parallelism.
+///
+/// `scale != ONE` requires [`FastKernel::can_fold_scale`]; callers emit a
+/// separate scale pass for `Controlled` kernels.
+pub fn apply_kernel(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    kernel: &FastKernel,
+    scale: Complex64,
+    threads: usize,
+) {
+    let fold = !scale.approx_eq(Complex64::ONE, 0.0);
+    match kernel {
+        FastKernel::Identity => {
+            if fold {
+                crate::parallel::scale_parallel(amps, scale, threads);
+            }
+        }
+        FastKernel::Diagonal(diag) => {
+            if fold {
+                let scaled: Vec<Complex64> = diag.iter().map(|&d| d * scale).collect();
+                crate::parallel::apply_diag_parallel(amps, qubits, &scaled, threads);
+            } else {
+                crate::parallel::apply_diag_parallel(amps, qubits, diag, threads);
+            }
+        }
+        FastKernel::Permutation { dst, phase } => {
+            if fold {
+                let scaled: Vec<Complex64> = phase.iter().map(|&p| p * scale).collect();
+                crate::parallel::apply_permutation_parallel(amps, qubits, dst, &scaled, threads);
+            } else {
+                crate::parallel::apply_permutation_parallel(amps, qubits, dst, phase, threads);
+            }
+        }
+        FastKernel::Controlled {
+            controls,
+            targets,
+            matrix,
+        } => {
+            if fold {
+                // A scalar cannot fold into the kernel entries (the
+                // untouched control-0 subspace must be scaled too), so it
+                // costs a real extra pass here — callers that can emit a
+                // shared scale op elsewhere should check can_fold_scale()
+                // first, but a fold request must never be dropped.
+                crate::parallel::scale_parallel(amps, scale, threads);
+            }
+            let cphys: Vec<u32> = controls.iter().map(|&p| qubits[p as usize]).collect();
+            let tphys: Vec<u32> = targets.iter().map(|&p| qubits[p as usize]).collect();
+            crate::parallel::apply_controlled_parallel(amps, &cphys, &tphys, matrix, threads);
+        }
+        FastKernel::Dense(m) => {
+            if fold {
+                let mut scaled = m.clone();
+                for r in 0..scaled.rows() {
+                    for c in 0..scaled.cols() {
+                        scaled[(r, c)] *= scale;
+                    }
+                }
+                crate::parallel::apply_matrix_parallel(amps, qubits, &scaled, threads);
+            } else {
+                crate::parallel::apply_matrix_parallel(amps, qubits, m, threads);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +376,121 @@ mod tests {
     fn gate_outside_kernel_panics() {
         let m = GateKind::H.matrix();
         let _ = expand_to_kernel(&[0, 1], &[2], &m);
+    }
+
+    #[test]
+    fn classify_detects_identity_diagonal_permutation_controlled_dense() {
+        // Identity: X · X.
+        let mut c = Circuit::new(1);
+        c.x(0).x(0);
+        let m = fuse_gates(&[0], c.gates());
+        assert!(matches!(classify_kernel(&m), FastKernel::Identity));
+
+        // Diagonal: a run of phase gates.
+        let mut c = Circuit::new(2);
+        c.t(0).cp(0.7, 0, 1).rz(0.3, 1);
+        let m = fuse_gates(&[0, 1], c.gates());
+        assert!(matches!(classify_kernel(&m), FastKernel::Diagonal(_)));
+
+        // Permutation: CX (with a phase-free X mixed in).
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).x(0);
+        let m = fuse_gates(&[0, 1], c.gates());
+        assert!(matches!(
+            classify_kernel(&m),
+            FastKernel::Permutation { .. }
+        ));
+
+        // Controlled: CRY — identity on the control-0 half, dense block on
+        // the control-1 half.
+        let m = GateKind::CRY(0.9).matrix();
+        match classify_kernel(&m) {
+            FastKernel::Controlled {
+                controls, targets, ..
+            } => {
+                assert_eq!(controls, vec![0]);
+                assert_eq!(targets, vec![1]);
+            }
+            other => panic!("CRY classified as {other:?}"),
+        }
+
+        // Dense: H mixes everything.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).h(1);
+        let m = fuse_gates(&[0, 1], c.gates());
+        assert!(matches!(classify_kernel(&m), FastKernel::Dense(_)));
+    }
+
+    #[test]
+    fn apply_kernel_matches_dense_apply_for_every_class() {
+        // One kernel per class, all applied both ways on a dense state.
+        let kernels: Vec<Circuit> = {
+            let mut v = Vec::new();
+            let mut c = Circuit::new(5);
+            c.x(1).x(1); // identity
+            v.push(c);
+            let mut c = Circuit::new(5);
+            c.t(1).cp(0.7, 1, 3).rz(0.4, 3); // diagonal
+            v.push(c);
+            let mut c = Circuit::new(5);
+            c.cx(1, 3).x(3).swap(1, 4); // permutation
+            v.push(c);
+            let mut c = Circuit::new(5);
+            c.add(GateKind::CRY(0.8), &[4, 1]); // controlled
+            v.push(c);
+            let mut c = Circuit::new(5);
+            c.h(1).cx(1, 3).h(3); // dense
+            v.push(c);
+            v
+        };
+        let mut prep = Circuit::new(5);
+        for q in 0..5 {
+            prep.h(q).t(q).rx(0.2 + q as f64, q);
+        }
+        for kc in &kernels {
+            let kq: Vec<u32> = (0..5)
+                .filter(|&q| kc.gates().iter().any(|g| g.qubits.contains(q)))
+                .collect();
+            let fused = fuse_gates(&kq, kc.gates());
+            let fast = classify_kernel(&fused);
+
+            let mut a = StateVector::zero_state(5);
+            for g in prep.gates() {
+                apply_gate(a.amplitudes_mut(), g);
+            }
+            let mut b = a.clone();
+            apply_matrix(a.amplitudes_mut(), &kq, &fused);
+            apply_kernel(b.amplitudes_mut(), &kq, &fast, Complex64::ONE, 1);
+            assert!(
+                a.approx_eq(&b, 1e-10),
+                "{fast:?} diverged from dense apply: {}",
+                a.max_abs_diff(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn apply_kernel_folds_scale() {
+        let mut c = Circuit::new(3);
+        c.t(0).cp(0.5, 0, 2);
+        let kq = [0u32, 2];
+        let fused = fuse_gates(&kq, c.gates());
+        let fast = classify_kernel(&fused);
+        assert!(fast.can_fold_scale());
+        let s = Complex64::cis(0.9);
+
+        let mut prep = Circuit::new(3);
+        prep.h(0).h(1).h(2).t(1);
+        let mut a = StateVector::zero_state(3);
+        for g in prep.gates() {
+            apply_gate(a.amplitudes_mut(), g);
+        }
+        let mut b = a.clone();
+        apply_matrix(a.amplitudes_mut(), &kq, &fused);
+        for amp in a.amplitudes_mut() {
+            *amp *= s;
+        }
+        apply_kernel(b.amplitudes_mut(), &kq, &fast, s, 1);
+        assert!(a.approx_eq(&b, 1e-12));
     }
 }

@@ -2,24 +2,31 @@
 //!
 //! The Schrödinger-style state-vector engine: amplitude storage, gate
 //! application kernels (general `k`-qubit plus specialized single-qubit /
-//! diagonal / controlled paths), gate fusion into dense kernel matrices,
+//! diagonal / permutation / controlled paths), gate fusion into dense
+//! kernel matrices with structure-aware classification ([`FastKernel`]),
 //! shared-memory-style batched execution (the CPU analogue of HyQuas
-//! SHM-GROUPING that Atlas' shared-memory kernels model), and a
-//! multi-threaded apply path.
+//! SHM-GROUPING that Atlas' shared-memory kernels model), a
+//! multi-threaded apply path, and the persistent worker [`pool`] the
+//! distributed executor schedules shard kernels on.
 //!
 //! All apply functions operate on raw `&mut [Complex64]` amplitude slices so
 //! that `atlas-machine` device memories and `atlas-core` shards can reuse
 //! them without copies.
 
+#![deny(missing_docs)]
+
 pub mod apply;
 pub mod batched;
 pub mod fused;
 pub mod parallel;
+pub mod pool;
 pub mod state;
 
 pub use apply::{apply_gate, apply_matrix};
 pub use batched::apply_batched;
-pub use fused::{expand_to_kernel, fuse_gates};
+pub use fused::{apply_kernel, classify_kernel, expand_to_kernel, fuse_gates, FastKernel};
+pub use parallel::{apply_matrix_parallel, PARALLEL_GROUP_CUTOFF};
+pub use pool::{with_pool, Pool};
 pub use state::StateVector;
 
 use atlas_circuit::Circuit;

@@ -1,4 +1,4 @@
-//! Multi-threaded gate application.
+//! Multi-threaded gate application within a single shard.
 //!
 //! A `k`-qubit gate partitions the index space into `2^{n-k}` independent
 //! groups; threads process disjoint group ranges, so the only unsafe
@@ -6,10 +6,38 @@
 //! Safety argument: group `g` touches exactly the indices
 //! `insert_bits(g, qubits) | deposit_bits(x, qubits)` for `x < 2^k`, and
 //! those sets are disjoint for distinct `g` (the non-gate bits differ).
+//!
+//! Every parallel kernel here computes **bit-identical** results to its
+//! serial twin in [`crate::apply`]: each amplitude is produced by the same
+//! floating-point operations in the same order regardless of how groups
+//! are divided among threads — there are no cross-group reductions. The
+//! thread-count determinism test in the integration suite relies on this.
 
 use atlas_circuit::Gate;
 use atlas_qmath::{deposit_bits, insert_bits, Complex64, Matrix};
 use std::cell::UnsafeCell;
+
+/// Minimum number of independent groups before a kernel is worth
+/// multi-threading.
+///
+/// Rationale: the scoped spawn + join of a parallel region costs on the
+/// order of 10–50 µs, while a group of a small-`k` kernel costs tens of
+/// nanoseconds; at fewer than ~2^10 groups the dispatch overhead rivals
+/// the whole serial kernel, so small problems stay on one thread. The
+/// constant is deliberately conservative — crossing it early only wastes
+/// microseconds, crossing it late leaves real parallelism unused on big
+/// shards (2^20+ amplitudes), which sit far above the cutoff anyway.
+pub const PARALLEL_GROUP_CUTOFF: usize = 1024;
+
+/// Minimum element count before a purely element-wise pass (diagonal
+/// multiply, whole-slice scale) is worth multi-threading.
+///
+/// Much higher than [`PARALLEL_GROUP_CUTOFF`] because the unit of work
+/// differs: a dense kernel's group costs `O(4^k)` complex MACs, while an
+/// element-wise "group" is a single complex multiply (~1 ns). At 2^16
+/// elements the serial pass costs ~100 µs, comfortably above the scoped
+/// spawn + join overhead; below it, threading is a net loss.
+pub const PARALLEL_ELEMENT_CUTOFF: usize = 1 << 16;
 
 /// Shared mutable amplitude slice for provably disjoint writes.
 struct AmpCell<'a>(&'a [UnsafeCell<Complex64>]);
@@ -37,14 +65,52 @@ impl<'a> AmpCell<'a> {
     }
 }
 
+/// Splits `0..groups` into `threads` contiguous ranges and runs `body`
+/// on each range concurrently (scoped threads, joined before returning).
+/// `body(lo, hi)` must only touch state owned by groups in `lo..hi`.
+fn run_group_ranges(groups: usize, threads: usize, body: &(dyn Fn(u64, u64) + Sync)) {
+    let chunk = groups.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(groups);
+            if lo >= hi {
+                continue;
+            }
+            scope.spawn(move || body(lo as u64, hi as u64));
+        }
+    });
+}
+
+/// Clamps a requested thread count to what `groups` can keep busy, and to
+/// 1 below [`PARALLEL_GROUP_CUTOFF`].
+fn effective_threads(threads: usize, groups: usize) -> usize {
+    if groups < PARALLEL_GROUP_CUTOFF {
+        1
+    } else {
+        threads.clamp(1, groups)
+    }
+}
+
+/// [`effective_threads`] for element-wise passes, using the higher
+/// [`PARALLEL_ELEMENT_CUTOFF`].
+fn effective_threads_elementwise(threads: usize, elements: usize) -> usize {
+    if elements < PARALLEL_ELEMENT_CUTOFF {
+        1
+    } else {
+        threads.clamp(1, elements)
+    }
+}
+
 /// Applies unitary `m` over `qubits` using up to `threads` OS threads.
-/// Functionally identical to [`crate::apply::apply_matrix`].
+/// Functionally identical to [`crate::apply::apply_matrix`] — bit-exact,
+/// not just approximately equal.
 pub fn apply_matrix_parallel(amps: &mut [Complex64], qubits: &[u32], m: &Matrix, threads: usize) {
     let k = qubits.len();
     assert_eq!(m.rows(), 1 << k);
     let groups = amps.len() >> k;
-    let threads = threads.clamp(1, groups.max(1));
-    if threads == 1 || groups < 1024 {
+    let threads = effective_threads(threads, groups);
+    if threads == 1 {
         crate::apply::apply_matrix(amps, qubits, m);
         return;
     }
@@ -53,33 +119,148 @@ pub fn apply_matrix_parallel(amps: &mut [Complex64], qubits: &[u32], m: &Matrix,
     let dim = 1usize << k;
     let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, qubits)).collect();
     let cell = AmpCell::new(amps);
-    let chunk = groups.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let cell = &cell;
-            let sorted = &sorted;
-            let offsets = &offsets;
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(groups);
-            if lo >= hi {
-                continue;
+    run_group_ranges(groups, threads, &|lo, hi| {
+        let mut inbuf = vec![Complex64::ZERO; dim];
+        let mut outbuf = vec![Complex64::ZERO; dim];
+        for g in lo..hi {
+            let base = insert_bits(g, &sorted);
+            for (x, off) in offsets.iter().enumerate() {
+                // SAFETY: distinct groups touch disjoint indices.
+                inbuf[x] = unsafe { cell.read((base | off) as usize) };
             }
-            scope.spawn(move || {
-                let mut inbuf = vec![Complex64::ZERO; dim];
-                let mut outbuf = vec![Complex64::ZERO; dim];
-                for g in lo as u64..hi as u64 {
-                    let base = insert_bits(g, sorted);
-                    for (x, off) in offsets.iter().enumerate() {
-                        // SAFETY: distinct groups touch disjoint indices.
-                        inbuf[x] = unsafe { cell.read((base | off) as usize) };
-                    }
-                    m.mul_vec_into(&inbuf, &mut outbuf);
-                    for (x, off) in offsets.iter().enumerate() {
-                        // SAFETY: as above.
-                        unsafe { cell.write((base | off) as usize, outbuf[x]) };
-                    }
-                }
-            });
+            m.mul_vec_into(&inbuf, &mut outbuf);
+            for (x, off) in offsets.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { cell.write((base | off) as usize, outbuf[x]) };
+            }
+        }
+    });
+}
+
+/// Parallel twin of [`crate::apply::apply_diag`]: scales amplitude `i` by
+/// `diag[extract_bits(i, qubits)]`, chunking the flat amplitude array.
+/// Bit-exact against the serial version (pure element-wise multiply).
+pub fn apply_diag_parallel(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    diag: &[Complex64],
+    threads: usize,
+) {
+    assert_eq!(diag.len(), 1 << qubits.len());
+    // Element-wise pass: "groups" are single amplitudes.
+    let threads = effective_threads_elementwise(threads, amps.len());
+    if threads == 1 {
+        crate::apply::apply_diag(amps, qubits, diag);
+        return;
+    }
+    let cell = AmpCell::new(amps);
+    let n = cell.0.len();
+    run_group_ranges(n, threads, &|lo, hi| {
+        for i in lo..hi {
+            // SAFETY: ranges are disjoint and each index is touched once.
+            unsafe {
+                let v = cell.read(i as usize);
+                let d = diag[atlas_qmath::extract_bits(i, qubits) as usize];
+                cell.write(i as usize, v * d);
+            }
+        }
+    });
+}
+
+/// Parallel twin of [`crate::apply::apply_permutation`]. Bit-exact.
+pub fn apply_permutation_parallel(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    dst: &[u32],
+    phase: &[Complex64],
+    threads: usize,
+) {
+    let k = qubits.len();
+    let dim = 1usize << k;
+    assert_eq!(dst.len(), dim);
+    assert_eq!(phase.len(), dim);
+    let groups = amps.len() >> k;
+    let threads = effective_threads(threads, groups);
+    if threads == 1 {
+        crate::apply::apply_permutation(amps, qubits, dst, phase);
+        return;
+    }
+    let mut sorted: Vec<u32> = qubits.to_vec();
+    sorted.sort_unstable();
+    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, qubits)).collect();
+    let out_off: Vec<u64> = dst.iter().map(|&d| offsets[d as usize]).collect();
+    let cell = AmpCell::new(amps);
+    run_group_ranges(groups, threads, &|lo, hi| {
+        let mut inbuf = vec![Complex64::ZERO; dim];
+        for g in lo..hi {
+            let base = insert_bits(g, &sorted);
+            for (x, off) in offsets.iter().enumerate() {
+                // SAFETY: distinct groups touch disjoint indices.
+                inbuf[x] = unsafe { cell.read((base | off) as usize) };
+            }
+            for (x, off) in out_off.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { cell.write((base | off) as usize, phase[x] * inbuf[x]) };
+            }
+        }
+    });
+}
+
+/// Parallel twin of [`crate::apply::apply_controlled_matrix`]. Bit-exact.
+pub fn apply_controlled_parallel(
+    amps: &mut [Complex64],
+    controls: &[u32],
+    targets: &[u32],
+    m: &Matrix,
+    threads: usize,
+) {
+    let kt = targets.len();
+    assert_eq!(m.rows(), 1 << kt);
+    let groups = amps.len() >> (controls.len() + kt);
+    let threads = effective_threads(threads, groups);
+    if threads == 1 {
+        crate::apply::apply_controlled_matrix(amps, controls, targets, m);
+        return;
+    }
+    let cmask: u64 = controls.iter().fold(0, |acc, &c| acc | (1u64 << c));
+    let mut all: Vec<u32> = controls.iter().chain(targets).copied().collect();
+    all.sort_unstable();
+    let dim = 1usize << kt;
+    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, targets)).collect();
+    let cell = AmpCell::new(amps);
+    run_group_ranges(groups, threads, &|lo, hi| {
+        let mut inbuf = vec![Complex64::ZERO; dim];
+        let mut outbuf = vec![Complex64::ZERO; dim];
+        for g in lo..hi {
+            let base = insert_bits(g, &all) | cmask;
+            for (x, off) in offsets.iter().enumerate() {
+                // SAFETY: distinct groups touch disjoint indices.
+                inbuf[x] = unsafe { cell.read((base | off) as usize) };
+            }
+            m.mul_vec_into(&inbuf, &mut outbuf);
+            for (x, off) in offsets.iter().enumerate() {
+                // SAFETY: as above.
+                unsafe { cell.write((base | off) as usize, outbuf[x]) };
+            }
+        }
+    });
+}
+
+/// Multiplies every amplitude by `factor` using up to `threads` threads.
+pub fn scale_parallel(amps: &mut [Complex64], factor: Complex64, threads: usize) {
+    let threads = effective_threads_elementwise(threads, amps.len());
+    if threads == 1 {
+        for a in amps.iter_mut() {
+            *a *= factor;
+        }
+        return;
+    }
+    let cell = AmpCell::new(amps);
+    let n = cell.0.len();
+    run_group_ranges(n, threads, &|lo, hi| {
+        for i in lo..hi {
+            // SAFETY: ranges are disjoint.
+            unsafe { cell.write(i as usize, cell.read(i as usize) * factor) };
         }
     });
 }
@@ -88,6 +269,22 @@ pub fn apply_matrix_parallel(amps: &mut [Complex64], qubits: &[u32], m: &Matrix,
 /// the dispatcher in `apply` remains the single-thread entry point).
 pub fn apply_gate_parallel(amps: &mut [Complex64], gate: &Gate, threads: usize) {
     apply_matrix_parallel(amps, gate.qubits.as_slice(), &gate.matrix(), threads);
+}
+
+/// Applies a reduced shared-memory kernel part `m` over `qubits` with a
+/// cheap structure dispatch: `1×1` scalar → whole-slice scale, diagonal →
+/// diagonal pass, otherwise the dense path. Parts are tiny per-shard
+/// specializations, so full [`crate::fused::classify_kernel`] treatment
+/// would cost more than it saves.
+pub fn apply_reduced(amps: &mut [Complex64], qubits: &[u32], m: &Matrix, threads: usize) {
+    if m.rows() == 1 {
+        scale_parallel(amps, m[(0, 0)], threads);
+    } else if m.is_diagonal(crate::fused::KERNEL_CLASSIFY_TOL) {
+        let diag: Vec<Complex64> = (0..m.rows()).map(|i| m[(i, i)]).collect();
+        apply_diag_parallel(amps, qubits, &diag, threads);
+    } else {
+        apply_matrix_parallel(amps, qubits, m, threads);
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +333,93 @@ mod tests {
             apply_gate_parallel(b.amplitudes_mut(), g, 1);
         }
         assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    /// Regression test pinning the serial cutoff at its boundary: one group
+    /// below [`PARALLEL_GROUP_CUTOFF`] stays serial, exactly at the cutoff
+    /// goes parallel, and both sides must be **bit-identical** to the
+    /// serial kernel.
+    #[test]
+    fn cutoff_boundary_is_bit_exact_on_both_sides() {
+        assert!(PARALLEL_GROUP_CUTOFF.is_power_of_two());
+        let k = 1u32; // single-qubit gate → groups = 2^(n-1)
+        let cutoff_n = PARALLEL_GROUP_CUTOFF.trailing_zeros() + k;
+        // groups = cutoff/2 (stays serial) then exactly = cutoff (the first
+        // size the parallel dispatch engages).
+        for n in [cutoff_n - 1, cutoff_n] {
+            let mut prep = Circuit::new(n);
+            for q in 0..n {
+                prep.h(q).rz(0.03 * (q + 1) as f64, q);
+            }
+            let mut serial = StateVector::zero_state(n);
+            for g in prep.gates() {
+                apply_gate(serial.amplitudes_mut(), g);
+            }
+            let mut parallel = serial.clone();
+            let h = atlas_circuit::Gate::new(atlas_circuit::GateKind::H, &[3]);
+            crate::apply::apply_matrix(serial.amplitudes_mut(), &[3], &h.matrix());
+            apply_matrix_parallel(parallel.amplitudes_mut(), &[3], &h.matrix(), 4);
+            let groups = parallel.amplitudes().len() >> k;
+            assert_eq!(groups >= PARALLEL_GROUP_CUTOFF, n == cutoff_n);
+            for (a, b) in serial.amplitudes().iter().zip(parallel.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn specialized_parallel_kernels_are_bit_exact() {
+        let n = 13;
+        let mut prep = Circuit::new(n);
+        for q in 0..n {
+            prep.h(q).rz(0.07 * (q + 1) as f64, q);
+        }
+        let mut base = StateVector::zero_state(n);
+        for g in prep.gates() {
+            apply_gate(base.amplitudes_mut(), g);
+        }
+
+        // Diagonal.
+        let diag: Vec<Complex64> = (0..4).map(|i| Complex64::cis(0.2 * i as f64)).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        crate::apply::apply_diag(a.amplitudes_mut(), &[2, 9], &diag);
+        apply_diag_parallel(b.amplitudes_mut(), &[2, 9], &diag, 4);
+        assert_bits_eq(&a, &b);
+
+        // Permutation (CX as a permutation over its two qubits).
+        let dst = [0u32, 3, 2, 1];
+        let phase = [Complex64::ONE; 4];
+        let mut a = base.clone();
+        let mut b = base.clone();
+        crate::apply::apply_permutation(a.amplitudes_mut(), &[4, 10], &dst, &phase);
+        apply_permutation_parallel(b.amplitudes_mut(), &[4, 10], &dst, &phase, 4);
+        assert_bits_eq(&a, &b);
+
+        // Controlled.
+        let ry = atlas_circuit::GateKind::RY(0.8).matrix();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        crate::apply::apply_controlled_matrix(a.amplitudes_mut(), &[1], &[8], &ry);
+        apply_controlled_parallel(b.amplitudes_mut(), &[1], &[8], &ry, 4);
+        assert_bits_eq(&a, &b);
+
+        // Scale.
+        let f = Complex64::cis(0.4);
+        let mut a = base.clone();
+        let mut b = base.clone();
+        for amp in a.amplitudes_mut() {
+            *amp *= f;
+        }
+        scale_parallel(b.amplitudes_mut(), f, 4);
+        assert_bits_eq(&a, &b);
+    }
+
+    fn assert_bits_eq(a: &StateVector, b: &StateVector) {
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert_eq!(x.re.to_bits(), y.re.to_bits());
+            assert_eq!(x.im.to_bits(), y.im.to_bits());
+        }
     }
 }

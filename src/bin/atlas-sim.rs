@@ -26,6 +26,7 @@ struct Args {
     baseline: Option<String>,
     top: usize,
     plan_only: bool,
+    threads: usize,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -51,6 +52,9 @@ MODE:
     --baseline <name>   run a comparator instead of Atlas:
                         hyquas|cuquantum|qiskit|qdao
     --top <k>           print the k most probable outcomes (default 8)
+    --threads <k>       host threads for functional execution
+                        (default: all cores; amplitudes are identical
+                        for every value)
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         top: 8,
         plan_only: false,
+        threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -92,6 +97,11 @@ fn parse_args() -> Result<Args, String> {
             "--plan" => args.plan_only = true,
             "--baseline" => args.baseline = Some(take(&mut i)?),
             "--top" => args.top = take(&mut i)?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--threads" => {
+                args.threads = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -179,6 +189,7 @@ fn main() -> ExitCode {
 
     let cfg = AtlasConfig {
         final_unpermute: !dry,
+        threads: args.threads.max(1),
         ..AtlasConfig::default()
     };
 

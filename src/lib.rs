@@ -1,41 +1,9 @@
 //! # Atlas — hierarchical partitioning for quantum circuit simulation
 //!
-//! A Rust reproduction of *"Atlas: Hierarchical Partitioning for Quantum
-//! Circuit Simulation on GPUs"* (Xu, Cao, Miao, Acar, Jia — SC 2024):
-//! Schrödinger-style state-vector simulation that partitions a circuit
-//! into **stages** (an ILP minimizing inter-device communication, §IV) and
-//! each stage into **kernels** (a dynamic program over fusion and
-//! shared-memory kernels, §V), executed over a multi-node multi-GPU
-//! machine — here a calibrated simulated cluster, since this build targets
-//! hosts without GPUs (see `DESIGN.md` for the substitution table).
-//!
-//! ## Quick start
-//!
-//! ```
-//! use atlas::prelude::*;
-//!
-//! // A 10-qubit GHZ circuit on a simulated 2-node × 2-GPU cluster with
-//! // 7 local qubits per GPU.
-//! let circuit = atlas::circuit::generators::ghz(10);
-//! let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 7 };
-//! let cfg = AtlasConfig::for_validation();
-//! let out = simulate(&circuit, spec, CostModel::default(), &cfg, false).unwrap();
-//! let state = out.state.unwrap();
-//! assert!((state.probability(0) - 0.5).abs() < 1e-9);
-//! assert!((state.probability((1 << 10) - 1) - 0.5).abs() < 1e-9);
-//! ```
-//!
-//! ## Crate map
-//!
-//! | crate | role |
-//! |---|---|
-//! | [`qmath`] | complex numbers, dense matrices, bit/index utilities |
-//! | [`circuit`] | gate set, insular-qubit classification, benchmark generators |
-//! | [`ilp`] | from-scratch binary ILP branch-and-bound solver |
-//! | [`statevec`] | state-vector kernels (general/specialized/fused/batched) |
-//! | [`machine`] | simulated multi-node multi-GPU cluster + cost model |
-//! | [`core`] | staging ILP, kernelization DP, EXECUTE/SIMULATE |
-//! | [`baselines`] | HyQuas-, cuQuantum-, Qiskit-, QDAO-like comparators |
+//! The crate-level documentation below is the repository README verbatim,
+//! so its quick-start examples run as doctests and CI catches any drift
+//! between the README and the API.
+#![doc = include_str!("../README.md")]
 
 pub use atlas_baselines as baselines;
 pub use atlas_circuit as circuit;

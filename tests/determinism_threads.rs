@@ -1,0 +1,75 @@
+//! Thread-count determinism: the parallel shard execution engine must
+//! produce **byte-identical** amplitude vectors no matter how many host
+//! threads it runs on.
+//!
+//! This is a stronger property than the differential harness's 1e-9
+//! tolerance — it holds because serial and parallel execution run the
+//! same compiled shard programs, and every parallel kernel in
+//! `atlas_statevec::parallel` performs the same floating-point operations
+//! as its serial twin, merely distributed across threads (no cross-group
+//! reductions anywhere in the engine).
+
+mod common;
+
+use atlas::prelude::*;
+
+/// Runs `circuit` on `spec` with the given thread count and returns the
+/// final state.
+fn run_with_threads(circuit: &Circuit, spec: MachineSpec, threads: usize) -> StateVector {
+    let cfg = AtlasConfig {
+        threads,
+        ..AtlasConfig::for_validation()
+    };
+    common::run_atlas_with(circuit, spec, &cfg)
+}
+
+fn assert_byte_identical(a: &StateVector, b: &StateVector, label: &str) {
+    assert_eq!(a.num_qubits(), b.num_qubits());
+    for (i, (x, y)) in a.amplitudes().iter().zip(b.amplitudes()).enumerate() {
+        assert_eq!(
+            (x.re.to_bits(), x.im.to_bits()),
+            (y.re.to_bits(), y.im.to_bits()),
+            "{label}: amplitude {i} differs between thread counts: {x:?} vs {y:?}"
+        );
+    }
+}
+
+#[test]
+fn one_and_eight_threads_are_byte_identical_on_regression_circuits() {
+    for circuit in common::regression_circuits() {
+        for spec in common::machine_shapes(circuit.num_qubits()) {
+            let serial = run_with_threads(&circuit, spec, 1);
+            let parallel = run_with_threads(&circuit, spec, 8);
+            assert_byte_identical(
+                &serial,
+                &parallel,
+                &format!("{} on {}", circuit.name(), common::shape_label(&spec)),
+            );
+        }
+    }
+}
+
+#[test]
+fn intermediate_thread_counts_are_byte_identical() {
+    // Shard-parallel (shards ≥ threads) and intra-shard fallback
+    // (shards < threads) must agree with each other as well: 16 shards at
+    // t = 2 exercises the first, a single shard at t = 8 the second.
+    let circuit = atlas::circuit::generators::qaoa(9);
+    let many_shards = MachineSpec {
+        nodes: 4,
+        gpus_per_node: 2,
+        local_qubits: 5,
+    };
+    let single_shard = MachineSpec::single_gpu(9);
+    for spec in [many_shards, single_shard] {
+        let baseline = run_with_threads(&circuit, spec, 1);
+        for t in [2, 3, 8] {
+            let got = run_with_threads(&circuit, spec, t);
+            assert_byte_identical(
+                &baseline,
+                &got,
+                &format!("qaoa(9) t={t} on {}", common::shape_label(&spec)),
+            );
+        }
+    }
+}
