@@ -67,6 +67,18 @@ pub struct AtlasConfig {
     /// Amplitudes are bit-identical for every value — only wall-clock
     /// changes. Dry-run mode ignores it (the clock model is not threaded).
     pub threads: usize,
+    /// Measurement shots to draw after a functional run (`0` = none).
+    /// Sampling runs on the sharded state and the bitstrings land in
+    /// `SimulationOutput::samples`; with a fixed [`seed`] they are
+    /// byte-identical for every thread count and machine shape. (More
+    /// shots can always be drawn later through
+    /// `SimulationOutput::measurements`.)
+    ///
+    /// [`seed`]: AtlasConfig::seed
+    pub shots: usize,
+    /// Seed of the counter-based measurement RNG (shot `i` draws a pure
+    /// function of `(seed, i)`).
+    pub seed: u64,
 }
 
 impl Default for AtlasConfig {
@@ -82,6 +94,8 @@ impl Default for AtlasConfig {
             kernelizer: KernelAlgo::Dp,
             final_unpermute: false,
             threads: 1,
+            shots: 0,
+            seed: 0,
         }
     }
 }

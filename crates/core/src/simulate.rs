@@ -5,6 +5,7 @@ use crate::config::AtlasConfig;
 use crate::exec::{self, FullPlan};
 use atlas_circuit::Circuit;
 use atlas_machine::{CostModel, Machine, MachineReport, MachineSpec};
+use atlas_sampler::Measurements;
 use atlas_statevec::StateVector;
 
 /// Everything a simulation run produces.
@@ -17,12 +18,26 @@ pub struct SimulationOutput {
     /// The final state (functional runs with
     /// [`AtlasConfig::final_unpermute`] set; `None` in dry-run mode).
     pub state: Option<StateVector>,
+    /// Measurement engine over the sharded final state (functional runs;
+    /// `None` in dry-run mode). Owns the machine's shard buffers: shots,
+    /// marginals, Pauli expectations and top outcomes all reduce in
+    /// place — nothing here gathers the `2^n` vector, so this is the
+    /// output path that works at any functional scale and is the reason
+    /// validation-style runs no longer need
+    /// [`AtlasConfig::final_unpermute`].
+    pub measurements: Option<Measurements>,
+    /// Pre-drawn measurement shots, when [`AtlasConfig::shots`] `> 0` on
+    /// a functional run: `shots` logical bitstrings sampled with
+    /// [`AtlasConfig::seed`] (equal to
+    /// `measurements.sample(cfg.shots, cfg.seed)`).
+    pub samples: Option<Vec<u64>>,
 }
 
 /// Simulates `circuit` on the given machine. `dry = true` runs the clock
 /// model only (paper-scale experiments); `dry = false` computes amplitudes
-/// and, when `cfg.final_unpermute` is set, returns the final state in the
-/// identity qubit layout.
+/// and returns a [`Measurements`] handle over the sharded final state
+/// (plus, when `cfg.final_unpermute` is set, the gathered state in the
+/// identity qubit layout).
 pub fn simulate(
     circuit: &Circuit,
     spec: MachineSpec,
@@ -41,10 +56,30 @@ pub fn simulate(
     exec::execute(&mut machine, circuit, &plan, cfg);
     let state = (!dry && cfg.final_unpermute).then(|| machine.gather_state());
     let report = machine.report();
+    let measurements = (!dry).then(|| {
+        // The machine's layout after EXECUTE: the identity when the run
+        // unpermuted at the end, otherwise the last stage's mapping
+        // (outstanding X/Y flips are already applied by `execute`).
+        let mapping = if cfg.final_unpermute {
+            (0..n).collect()
+        } else {
+            plan.stages
+                .last()
+                .map(|sp| sp.mapping.clone())
+                .unwrap_or_else(|| (0..n).collect())
+        };
+        Measurements::new(machine, mapping, cfg.threads.max(1))
+    });
+    let samples = measurements
+        .as_ref()
+        .filter(|_| cfg.shots > 0)
+        .map(|m| m.sample(cfg.shots, cfg.seed));
     Ok(SimulationOutput {
         plan,
         report,
         state,
+        measurements,
+        samples,
     })
 }
 
@@ -119,6 +154,44 @@ mod tests {
     }
 
     #[test]
+    fn functional_run_hands_out_measurements_without_unpermute() {
+        // No final unpermute: the state stays in the last stage's layout,
+        // yet the measurement handle reports logical-order results that
+        // match the dense reference.
+        let circuit = Family::Qft.generate(9);
+        let spec = MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 6,
+        };
+        let cfg = AtlasConfig {
+            shots: 32,
+            seed: 11,
+            ..AtlasConfig::default() // final_unpermute = false
+        };
+        let out = simulate(&circuit, spec, CostModel::default(), &cfg, false).unwrap();
+        assert!(out.state.is_none(), "no gather without final_unpermute");
+        let m = out
+            .measurements
+            .expect("functional runs carry measurements");
+        // cfg.shots/cfg.seed drew the samples already.
+        let samples = out.samples.expect("cfg.shots > 0 pre-draws samples");
+        assert_eq!(samples.len(), 32);
+        assert_eq!(samples, m.sample(32, 11));
+        let want = simulate_reference(&circuit);
+        for x in [0u64, 1, 100, 511] {
+            assert!((m.probability(x) - want.probability(x)).abs() < 1e-9);
+        }
+        let top = m.top(4);
+        let dense = want.top_probabilities(4);
+        assert_eq!(
+            top.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            dense.iter().map(|&(i, _)| i).collect::<Vec<_>>()
+        );
+        assert!((m.total_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn dry_run_produces_report_without_state() {
         let circuit = Family::Qft.generate(30);
         let spec = MachineSpec {
@@ -135,6 +208,8 @@ mod tests {
         )
         .unwrap();
         assert!(out.state.is_none());
+        assert!(out.measurements.is_none());
+        assert!(out.samples.is_none());
         assert!(out.report.total_secs > 0.0);
         assert!(out.report.kernels > 0);
     }

@@ -5,8 +5,8 @@ use crate::cost::{CostModel, AMP_BYTES};
 use crate::topology::MachineSpec;
 use crate::traffic::traffic_matrix;
 use atlas_circuit::Gate;
-use atlas_qmath::{Complex64, Matrix, QubitPermutation};
-use atlas_statevec::{apply_batched, apply_matrix, FastKernel, Pool, StateVector};
+use atlas_qmath::{Complex64, IndexPermuter, Matrix, QubitPermutation};
+use atlas_statevec::{apply_batched, apply_matrix, measure, FastKernel, Pool, StateVector};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
@@ -512,6 +512,301 @@ impl Machine {
     }
 
     // ------------------------------------------------------------------
+    // Measurement reductions (functional mode)
+    // ------------------------------------------------------------------
+    //
+    // Read-only entry points for the `atlas-sampler` measurement engine:
+    // every reduction runs on the sharded, still-permuted buffers — the
+    // full 2^n vector is never materialized. Parallelism mirrors
+    // `run_shard_programs`: one pool item per shard when shards cover the
+    // workers, intra-shard chunk parallelism otherwise, and results are
+    // combined in shard/chunk order so every value is bit-identical for
+    // every thread count (see `atlas_statevec::measure`).
+
+    /// Runs `f(shard, amps, within_threads)` over every shard on `pool`,
+    /// returning results in shard order.
+    fn map_shards<T: Send + Sync>(
+        &self,
+        pool: &Pool,
+        f: &(dyn Fn(usize, &[Complex64], usize) -> T + Sync),
+    ) -> Vec<T> {
+        assert!(!self.dry, "measurement reductions need amplitudes");
+        let num_shards = self.shards.len();
+        if num_shards < pool.threads() {
+            // Spend the thread budget inside each shard's reduction.
+            return (0..num_shards)
+                .map(|s| f(s, &self.shards[s], pool.threads()))
+                .collect();
+        }
+        let slots: Vec<std::sync::OnceLock<T>> = (0..num_shards)
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
+        pool.run(num_shards, &|s| {
+            slots[s]
+                .set(f(s, &self.shards[s], 1))
+                .unwrap_or_else(|_| unreachable!("shard visited twice"));
+        });
+        slots
+            .into_iter()
+            .map(|c| c.into_inner().expect("shard computed"))
+            .collect()
+    }
+
+    /// Per-shard probability masses `Σ|αᵢ|²`, in shard order.
+    pub fn shard_norms(&self, pool: &Pool) -> Vec<f64> {
+        self.map_shards(pool, &|_, amps, t| {
+            measure::norm_sqr_slice_parallel(amps, t)
+        })
+    }
+
+    /// Total norm `Σ|αᵢ|²` over all shards (shard partials combined in
+    /// shard order).
+    pub fn total_norm(&self, pool: &Pool) -> f64 {
+        self.shard_norms(pool).iter().sum()
+    }
+
+    /// Diagonal Pauli reduction: `Σ_x (-1)^{popcount(x & sign_mask)}·|α_x|²`
+    /// over all physical indices `x`. This is `⟨ψ|P|ψ⟩` for a Pauli
+    /// string of `Z`s on the physical bits of `sign_mask`.
+    pub fn signed_norm_sum(&self, sign_mask: u64, pool: &Pool) -> f64 {
+        let l = self.spec.local_qubits;
+        self.map_shards(pool, &|s, amps, t| {
+            measure::signed_norm_parallel(amps, (s as u64) << l, sign_mask, t)
+        })
+        .iter()
+        .sum()
+    }
+
+    /// Off-diagonal Pauli reduction:
+    /// `Σ_x conj(α_{x ^ flip}) · (-1)^{popcount(x & sign_mask)} · α_x`
+    /// over all physical indices `x`. The partner amplitude is read from
+    /// whichever shard holds `x ^ flip` — no data moves. Together with a
+    /// caller-applied `i^{#Y}` prefactor this evaluates any Pauli-string
+    /// expectation (`flip` = X|Y bits, `sign_mask` = Z|Y bits).
+    pub fn signed_pair_sum(&self, flip: u64, sign_mask: u64, pool: &Pool) -> Complex64 {
+        let l = self.spec.local_qubits;
+        let shard_len = self.shard_len();
+        let shards = &self.shards;
+        self.map_shards(pool, &|s, amps, t| {
+            let partner = &shards[s ^ (flip >> l) as usize];
+            let local_flip = (flip as usize) & (shard_len - 1);
+            measure::signed_pair_sum_parallel(
+                amps,
+                partner,
+                local_flip,
+                (s as u64) << l,
+                sign_mask,
+                t,
+            )
+        })
+        .iter()
+        .fold(Complex64::ZERO, |acc, &v| acc + v)
+    }
+
+    /// The amplitude at a physical index (functional mode).
+    #[inline]
+    pub fn amp_at_physical(&self, idx: u64) -> Complex64 {
+        let l = self.spec.local_qubits;
+        self.shards[(idx >> l) as usize][(idx & ((1u64 << l) - 1)) as usize]
+    }
+
+    /// Probability masses of fixed `2^chunk_bits`-index chunks of the
+    /// **logical** index space: entry `j` is
+    /// `Σ_{x ∈ [j·2^c, (j+1)·2^c)} |α_{l2p(x)}|²`, accumulated in logical
+    /// index order (`l2p` maps logical → physical indices).
+    ///
+    /// This is the coarse row of the sampling CDF. Because the iteration
+    /// order and chunk boundaries are defined in logical space, the
+    /// result — and everything downstream, including sampled bitstrings —
+    /// is independent of the shard layout's bit permutation, not just of
+    /// the thread count.
+    pub fn logical_chunk_norms(
+        &self,
+        l2p: &IndexPermuter,
+        chunk_bits: u32,
+        pool: &Pool,
+    ) -> Vec<f64> {
+        assert!(!self.dry, "measurement reductions need amplitudes");
+        let c = chunk_bits.min(self.n);
+        let chunk_len = 1u64 << c;
+        let num_chunks = 1usize << (self.n - c);
+        let slots: Vec<std::sync::OnceLock<f64>> = (0..num_chunks)
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
+        pool.run(num_chunks, &|j| {
+            let base = (j as u64) << c;
+            let mut acc = 0.0;
+            for t in 0..chunk_len {
+                acc += self.amp_at_physical(l2p.apply(base | t)).norm_sqr();
+            }
+            slots[j]
+                .set(acc)
+                .unwrap_or_else(|_| unreachable!("chunk visited twice"));
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("chunk computed"))
+            .collect()
+    }
+
+    /// Shard-aware inverse-CDF resolution: maps ascending cumulative
+    /// `targets` (each in `[0, Σ chunk_norms)`) to **logical** basis-state
+    /// indices, using `chunk_norms` (from [`Machine::logical_chunk_norms`]
+    /// with the same `l2p` and `chunk_bits`) as the coarse CDF and a
+    /// serial logical-order scan within each hit chunk.
+    ///
+    /// Chunks with at least one target resolve concurrently on `pool`;
+    /// within a chunk the scan accumulates in logical index order, so the
+    /// assignment is deterministic for every thread count and shard
+    /// layout. Targets at or past the total mass clamp to the last index.
+    pub fn resolve_targets(
+        &self,
+        l2p: &IndexPermuter,
+        chunk_bits: u32,
+        chunk_norms: &[f64],
+        targets: &[f64],
+        pool: &Pool,
+    ) -> Vec<u64> {
+        assert!(!self.dry, "measurement reductions need amplitudes");
+        let c = chunk_bits.min(self.n);
+        let chunk_len = 1u64 << c;
+        assert_eq!(chunk_norms.len(), 1usize << (self.n - c));
+        debug_assert!(targets.windows(2).all(|w| w[0] <= w[1]), "targets sorted");
+        // Chunk-level CDF.
+        let mut prefix = Vec::with_capacity(chunk_norms.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &m in chunk_norms {
+            acc += m;
+            prefix.push(acc);
+        }
+        // Group consecutive targets by the chunk their CDF interval hits.
+        let mut groups: Vec<(usize, std::ops::Range<usize>)> = Vec::new();
+        let mut j = 0usize;
+        for (ti, &t) in targets.iter().enumerate() {
+            while j + 1 < chunk_norms.len() && prefix[j + 1] <= t {
+                j += 1;
+            }
+            match groups.last_mut() {
+                Some((cj, range)) if *cj == j => range.end = ti + 1,
+                _ => groups.push((j, ti..ti + 1)),
+            }
+        }
+        let slots: Vec<std::sync::OnceLock<u64>> = (0..targets.len())
+            .map(|_| std::sync::OnceLock::new())
+            .collect();
+        let groups = &groups;
+        let prefix = &prefix;
+        let slots_ref = &slots;
+        pool.run(groups.len(), &|g| {
+            let (j, ref range) = groups[g];
+            let base = (j as u64) << c;
+            let mut acc = prefix[j];
+            let mut ti = range.start;
+            for t in 0..chunk_len {
+                acc += self.amp_at_physical(l2p.apply(base | t)).norm_sqr();
+                while ti < range.end && targets[ti] < acc {
+                    slots_ref[ti]
+                        .set(base | t)
+                        .unwrap_or_else(|_| unreachable!("target resolved twice"));
+                    ti += 1;
+                }
+                if ti == range.end {
+                    break;
+                }
+            }
+            // Floating-point slack at the chunk boundary: clamp to the
+            // chunk's last index.
+            while ti < range.end {
+                slots_ref[ti]
+                    .set(base | (chunk_len - 1))
+                    .unwrap_or_else(|_| unreachable!("target resolved twice"));
+                ti += 1;
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("target resolved"))
+            .collect()
+    }
+
+    /// Marginal probability distribution over the given **physical** bits:
+    /// entry `v` of the result is the total probability of all basis
+    /// states whose bits at `phys_bits[t]` spell `v` (bit `t` of `v` =
+    /// physical bit `phys_bits[t]`). Accumulates in shard order, index
+    /// order within each shard. Small marginals (`b ≤ 12`) use one
+    /// partial vector per shard and run shards concurrently; wide ones
+    /// fold serially into a single `2^b` buffer (per-shard partials
+    /// would dwarf the state itself). The schedule depends only on `b`,
+    /// never on the thread count, so any given marginal is bit-identical
+    /// for every `--threads` value.
+    pub fn marginal_distribution(&self, phys_bits: &[u32], pool: &Pool) -> Vec<f64> {
+        let b = phys_bits.len();
+        assert!(b <= 24, "marginal over {b} bits would allocate 2^{b} bins");
+        assert!(!self.dry, "measurement reductions need amplitudes");
+        let l = self.spec.local_qubits;
+        let accumulate = |s: usize, amps: &[Complex64], dist: &mut [f64]| {
+            let base = (s as u64) << l;
+            for (i, a) in amps.iter().enumerate() {
+                let v = atlas_qmath::extract_bits(base | i as u64, phys_bits);
+                dist[v as usize] += a.norm_sqr();
+            }
+        };
+        // Per-shard partial vectors only while all of them together stay
+        // small next to one shard (b ≤ 12 → ≤ 32 KiB each).
+        if b <= 12 {
+            let partials = self.map_shards(pool, &|s, amps, _| {
+                let mut dist = vec![0.0f64; 1 << b];
+                accumulate(s, amps, &mut dist);
+                dist
+            });
+            let mut out = vec![0.0f64; 1 << b];
+            for dist in partials {
+                for (o, v) in out.iter_mut().zip(dist) {
+                    *o += v;
+                }
+            }
+            out
+        } else {
+            let mut out = vec![0.0f64; 1 << b];
+            for (s, amps) in self.shards.iter().enumerate() {
+                accumulate(s, amps, &mut out);
+            }
+            out
+        }
+    }
+
+    /// The `k` most probable outcomes as `(remap(physical index),
+    /// probability)`, descending, selected with one bounded-heap pass per
+    /// shard and a shard-order merge — never a full sort, never a
+    /// gathered vector.
+    ///
+    /// Indices are pushed through `remap` *before* entering the heaps, so
+    /// ties order by the **remapped** index — callers that pass the
+    /// physical→logical permuter get exactly the logical-order selection
+    /// (strict total order, stable across shard layouts); pass the
+    /// identity to stay in physical indices.
+    pub fn top_outcomes(&self, k: usize, remap: &IndexPermuter, pool: &Pool) -> Vec<(u64, f64)> {
+        let l = self.spec.local_qubits;
+        let partials = self.map_shards(pool, &|s, amps, _| {
+            let base = (s as u64) << l;
+            let mut top = measure::TopK::new(k);
+            for (i, a) in amps.iter().enumerate() {
+                let p = a.norm_sqr();
+                if p > atlas_qmath::EPS {
+                    top.push(remap.apply(base | i as u64), p);
+                }
+            }
+            top
+        });
+        let mut merged = measure::TopK::new(k);
+        for t in partials {
+            merged.merge(t);
+        }
+        merged.into_sorted_vec()
+    }
+
+    // ------------------------------------------------------------------
     // State access and reporting
     // ------------------------------------------------------------------
 
@@ -749,6 +1044,123 @@ mod tests {
             let (re, rd) = (engine.report(), direct.report());
             assert_eq!(re.kernels, rd.kernels);
             assert!((re.compute_secs - rd.compute_secs).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn measurement_reductions_match_dense_reference() {
+        use atlas_qmath::IndexPermuter;
+        // A dense, phase-rich 5-qubit state on 4 shards.
+        let mut prep = Circuit::new(5);
+        for q in 0..5 {
+            prep.h(q).rz(0.17 * (q + 1) as f64, q);
+        }
+        prep.cx(0, 3).cp(0.9, 1, 4);
+        let reference = simulate_reference(&prep);
+        let m = Machine::with_state(small_spec(), CostModel::default(), &reference);
+        let pool = atlas_statevec::Pool::SERIAL;
+
+        // Norms.
+        let norms = m.shard_norms(&pool);
+        assert_eq!(norms.len(), 4);
+        assert!((m.total_norm(&pool) - 1.0).abs() < 1e-12);
+
+        // Diagonal reduction = Σ sign·|α|² computed densely.
+        let sign_mask = 0b01001u64;
+        let want: f64 = reference
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .map(|(x, a)| {
+                let s = if (x as u64 & sign_mask).count_ones().is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
+                s * a.norm_sqr()
+            })
+            .sum();
+        assert!((m.signed_norm_sum(sign_mask, &pool) - want).abs() < 1e-12);
+
+        // Off-diagonal reduction with a cross-shard flip (bit 4 ≥ L=3).
+        let flip = 0b10010u64;
+        let want =
+            reference
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .fold(Complex64::ZERO, |acc, (x, &a)| {
+                    let s = if (x as u64 & sign_mask).count_ones().is_multiple_of(2) {
+                        1.0
+                    } else {
+                        -1.0
+                    };
+                    acc + reference.amplitudes()[x ^ flip as usize].conj() * a * s
+                });
+        let got = m.signed_pair_sum(flip, sign_mask, &pool);
+        assert!((got - want).norm() < 1e-12);
+
+        // Logical chunk norms under a non-trivial layout permutation sum
+        // to the per-chunk dense masses.
+        let mut map: Vec<u32> = (0..5).collect();
+        map.swap(0, 4);
+        map.swap(1, 3);
+        let perm = atlas_qmath::QubitPermutation::from_map(map);
+        let mut permuted = Machine::with_state(small_spec(), CostModel::default(), &reference);
+        permuted.permute_state(&perm, 0);
+        // State now holds logical x at physical perm(x): l2p = perm.
+        let l2p = IndexPermuter::new(&perm);
+        let chunks = permuted.logical_chunk_norms(&l2p, 2, &pool);
+        assert_eq!(chunks.len(), 8);
+        for (j, &got) in chunks.iter().enumerate() {
+            let want: f64 = (0..4)
+                .map(|t| reference.amplitudes()[j * 4 + t].norm_sqr())
+                .sum();
+            assert!((got - want).abs() < 1e-12, "chunk {j}");
+        }
+
+        // Inverse-CDF: targets placed inside known probability intervals
+        // resolve to the matching logical indices.
+        let probs: Vec<f64> = reference
+            .amplitudes()
+            .iter()
+            .map(|a| a.norm_sqr())
+            .collect();
+        let mut cdf = vec![0.0];
+        for &p in &probs {
+            cdf.push(cdf.last().unwrap() + p);
+        }
+        let targets: Vec<f64> = vec![
+            cdf[3] + probs[3] * 0.5,
+            cdf[17] + probs[17] * 0.25,
+            cdf[30] + probs[30] * 0.99,
+        ];
+        let mut sorted = targets.clone();
+        sorted.sort_by(f64::total_cmp);
+        let got = permuted.resolve_targets(&l2p, 2, &chunks, &sorted, &pool);
+        assert_eq!(got, vec![3, 17, 30]);
+
+        // Marginal over physical bits {0, 4} matches the dense sum.
+        let dist = m.marginal_distribution(&[0, 4], &pool);
+        for (v, &got_p) in dist.iter().enumerate() {
+            let want: f64 = reference
+                .amplitudes()
+                .iter()
+                .enumerate()
+                .filter(|(x, _)| (x & 1 != 0) as usize | (((x >> 4) & 1) << 1) == v)
+                .map(|(_, a)| a.norm_sqr())
+                .sum();
+            assert!((got_p - want).abs() < 1e-12, "marginal bin {v}");
+        }
+
+        // Top outcomes agree with the dense selector.
+        let want = reference.top_probabilities(5);
+        let identity = IndexPermuter::new(&atlas_qmath::QubitPermutation::identity(5));
+        let got = m.top_outcomes(5, &identity, &pool);
+        assert_eq!(got.len(), 5);
+        for ((gi, gp), (wi, wp)) in got.iter().zip(&want) {
+            assert_eq!(gi, wi);
+            assert!((gp - wp).abs() < 1e-12);
         }
     }
 

@@ -1,0 +1,180 @@
+//! Pauli strings: parsing, masks, and the bookkeeping that turns
+//! `⟨ψ|P|ψ⟩` into the machine's signed-sum reductions.
+//!
+//! A Pauli string `P = ⊗_q P_q` with `P_q ∈ {I, X, Y, Z}` acts on a
+//! basis state as `P|x⟩ = i^{#Y} · (-1)^{popcount(x & (Z|Y))} · |x ^ (X|Y)⟩`,
+//! so its expectation reduces to one *flip mask* (the X|Y bits), one
+//! *sign mask* (the Z|Y bits) and an `i^{#Y}` prefactor — exactly the
+//! shape of [`atlas_machine::Machine::signed_pair_sum`]. No matrix is
+//! ever built.
+
+/// One single-qubit Pauli operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Bit flip.
+    X,
+    /// Bit flip with ±i phase.
+    Y,
+    /// Phase flip.
+    Z,
+}
+
+/// A Pauli string over `n` qubits.
+///
+/// The text form reads **left to right from the highest qubit down**,
+/// matching the `|b_{n-1} … b_0⟩` convention the CLI prints bitstrings
+/// in: in `"ZIIX"`, the `Z` acts on qubit 3 and the `X` on qubit 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PauliString {
+    /// `ops[q]` is the operator on qubit `q`.
+    ops: Vec<PauliOp>,
+}
+
+impl PauliString {
+    /// Parses a Pauli string from its text form (case-insensitive
+    /// `I`/`X`/`Y`/`Z`, leftmost character = highest qubit). The number
+    /// of qubits is the string length.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s.is_empty() {
+            return Err("empty Pauli string".into());
+        }
+        if s.len() > 64 {
+            return Err(format!("Pauli string of {} qubits exceeds 64", s.len()));
+        }
+        let mut ops = Vec::with_capacity(s.len());
+        for ch in s.chars().rev() {
+            ops.push(match ch.to_ascii_uppercase() {
+                'I' => PauliOp::I,
+                'X' => PauliOp::X,
+                'Y' => PauliOp::Y,
+                'Z' => PauliOp::Z,
+                other => return Err(format!("invalid Pauli character '{other}' (want I/X/Y/Z)")),
+            });
+        }
+        Ok(PauliString { ops })
+    }
+
+    /// Builds a string of identities with single operators placed on
+    /// specific qubits (convenience for programmatic use).
+    pub fn from_ops(n: u32, placed: &[(u32, PauliOp)]) -> Self {
+        let mut ops = vec![PauliOp::I; n as usize];
+        for &(q, op) in placed {
+            ops[q as usize] = op;
+        }
+        PauliString { ops }
+    }
+
+    /// Number of qubits the string spans.
+    pub fn num_qubits(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    /// The operator on qubit `q`.
+    pub fn op(&self, q: u32) -> PauliOp {
+        self.ops[q as usize]
+    }
+
+    /// `true` if every factor is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|&o| o == PauliOp::I)
+    }
+
+    /// Logical-qubit mask of one operator kind.
+    fn mask_of(&self, kind: PauliOp) -> u64 {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == kind)
+            .fold(0u64, |m, (q, _)| m | (1u64 << q))
+    }
+
+    /// Logical mask of the `X` factors.
+    pub fn x_mask(&self) -> u64 {
+        self.mask_of(PauliOp::X)
+    }
+
+    /// Logical mask of the `Y` factors.
+    pub fn y_mask(&self) -> u64 {
+        self.mask_of(PauliOp::Y)
+    }
+
+    /// Logical mask of the `Z` factors.
+    pub fn z_mask(&self) -> u64 {
+        self.mask_of(PauliOp::Z)
+    }
+
+    /// The `i^{#Y}` prefactor of the string's basis-state action
+    /// `P|x⟩ = i^{#Y}·(-1)^{popcount(x & (Z|Y))}·|x ^ (X|Y)⟩` — the
+    /// single place this convention lives.
+    pub fn phase_prefactor(&self) -> atlas_qmath::Complex64 {
+        use atlas_qmath::Complex64;
+        match self.y_mask().count_ones() % 4 {
+            0 => Complex64::ONE,
+            1 => Complex64::I,
+            2 => -Complex64::ONE,
+            _ => -Complex64::I,
+        }
+    }
+}
+
+impl std::str::FromStr for PauliString {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PauliString::parse(s)
+    }
+}
+
+impl std::fmt::Display for PauliString {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for &op in self.ops.iter().rev() {
+            f.write_str(match op {
+                PauliOp::I => "I",
+                PauliOp::X => "X",
+                PauliOp::Y => "Y",
+                PauliOp::Z => "Z",
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_orientation_and_masks() {
+        // Leftmost char = highest qubit: Z@3, Y@2, X@1, I@0.
+        let p: PauliString = "ZYXI".parse().unwrap();
+        assert_eq!(p.num_qubits(), 4);
+        assert_eq!(p.op(3), PauliOp::Z);
+        assert_eq!(p.op(2), PauliOp::Y);
+        assert_eq!(p.op(1), PauliOp::X);
+        assert_eq!(p.op(0), PauliOp::I);
+        assert_eq!(p.x_mask(), 0b0010);
+        assert_eq!(p.y_mask(), 0b0100);
+        assert_eq!(p.z_mask(), 0b1000);
+        assert_eq!(p.to_string(), "ZYXI");
+    }
+
+    #[test]
+    fn parse_is_case_insensitive_and_validates() {
+        assert_eq!(
+            PauliString::parse("izxy").unwrap(),
+            PauliString::parse("IZXY").unwrap()
+        );
+        assert!(PauliString::parse("").is_err());
+        assert!(PauliString::parse("ZQ").is_err());
+    }
+
+    #[test]
+    fn from_ops_places_operators() {
+        let p = PauliString::from_ops(5, &[(0, PauliOp::Z), (4, PauliOp::Z)]);
+        assert_eq!(p.to_string(), "ZIIIZ");
+        assert!(!p.is_identity());
+        assert!(PauliString::from_ops(3, &[]).is_identity());
+    }
+}

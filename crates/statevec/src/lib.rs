@@ -18,6 +18,7 @@
 pub mod apply;
 pub mod batched;
 pub mod fused;
+pub mod measure;
 pub mod parallel;
 pub mod pool;
 pub mod state;
@@ -25,6 +26,7 @@ pub mod state;
 pub use apply::{apply_gate, apply_matrix};
 pub use batched::apply_batched;
 pub use fused::{apply_kernel, classify_kernel, expand_to_kernel, fuse_gates, FastKernel};
+pub use measure::{chunk_norms, norm_sqr_slice, signed_norm, signed_pair_sum, TopK, MEASURE_CHUNK};
 pub use parallel::{apply_matrix_parallel, PARALLEL_GROUP_CUTOFF};
 pub use pool::{with_pool, Pool};
 pub use state::StateVector;

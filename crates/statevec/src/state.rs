@@ -122,18 +122,21 @@ impl StateVector {
     }
 
     /// The `k` most probable basis states as `(index, probability)`,
-    /// descending.
+    /// descending, ties broken by ascending index.
+    ///
+    /// Selection runs through a bounded min-heap ([`crate::measure::TopK`])
+    /// in `O(2^n log k)` — it never sorts the full `2^n` outcome list, so
+    /// the common `k ≪ 2^n` case costs one streaming pass. Outcomes with
+    /// probability at or below [`EPS`] are skipped.
     pub fn top_probabilities(&self, k: usize) -> Vec<(u64, f64)> {
-        let mut probs: Vec<(u64, f64)> = self
-            .amps
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (i as u64, a.norm_sqr()))
-            .filter(|(_, p)| *p > EPS)
-            .collect();
-        probs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-        probs.truncate(k);
-        probs
+        let mut top = crate::measure::TopK::new(k);
+        for (i, a) in self.amps.iter().enumerate() {
+            let p = a.norm_sqr();
+            if p > EPS {
+                top.push(i as u64, p);
+            }
+        }
+        top.into_sorted_vec()
     }
 }
 
@@ -180,5 +183,42 @@ mod tests {
         assert_eq!(top[0].0, 0);
         assert!((top[0].1 - 0.64).abs() < 1e-12);
         assert_eq!(top[1].0, 1);
+    }
+
+    /// Pins the selection order of the bounded-heap `top_probabilities`:
+    /// descending probability, ascending index on exact ties, and a `k`
+    /// boundary that cuts through a tie group keeps the smallest indices.
+    #[test]
+    fn top_probabilities_pins_order_and_ties() {
+        // Uniform state: every outcome ties at p = 1/8.
+        let uniform = StateVector::from_amplitudes(vec![Complex64::real(1.0 / 8f64.sqrt()); 8]);
+        assert_eq!(
+            uniform
+                .top_probabilities(3)
+                .iter()
+                .map(|&(i, _)| i)
+                .collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "ties must keep the smallest indices"
+        );
+        // Mixed: distinct probabilities interleaved with a tie pair, and
+        // amplitudes whose phases differ but probabilities tie exactly.
+        let amps = vec![
+            Complex64::real(0.1),      // p = 0.01
+            Complex64::new(0.0, 0.5),  // p = 0.25  (tie, idx 1)
+            Complex64::real(0.7),      // p = 0.49
+            Complex64::real(-0.5),     // p = 0.25  (tie, idx 3)
+            Complex64::ZERO,           // skipped
+            Complex64::real(0.4),      // p = 0.16
+            Complex64::ZERO,           // skipped
+            Complex64::new(0.3, -0.3), // p = 0.18
+        ];
+        let sv = StateVector::from_amplitudes(amps);
+        let idx: Vec<u64> = sv.top_probabilities(4).iter().map(|&(i, _)| i).collect();
+        assert_eq!(idx, vec![2, 1, 3, 7]);
+        // k larger than the non-negligible support returns everything.
+        assert_eq!(sv.top_probabilities(100).len(), 6);
+        // k = 0 is empty, not a panic.
+        assert!(sv.top_probabilities(0).is_empty());
     }
 }

@@ -2,13 +2,20 @@
 //!
 //! Simulate a benchmark family or a QASM file on a configurable simulated
 //! cluster, functionally (exact amplitudes) or as a dry-run clock model at
-//! paper scale.
+//! paper scale. Functional runs read their results out through the
+//! sharded measurement engine (`atlas-sampler`): top outcomes, seeded
+//! shot samples and Pauli expectations are all computed in place on the
+//! distributed state — the full `2^n` vector is never gathered.
 //!
 //! ```text
 //! atlas-sim --family qft -n 12 --nodes 2 --gpus 2 -L 9
+//! atlas-sim --family qaoa -n 8 --shots 256 --seed 7
+//! atlas-sim --family ghz -n 10 --expect ZIIIIIIIIZ
 //! atlas-sim --qasm circuit.qasm --nodes 1 --gpus 4 -L 24 --dry
-//! atlas-sim --family su2random -n 30 -L 26 --dry --baseline hyquas
 //! ```
+//!
+//! Exit codes: `0` success, `1` simulation/runtime failure, `2` usage
+//! error (bad or contradictory flags).
 
 use atlas::baselines;
 use atlas::circuit::qasm;
@@ -25,8 +32,15 @@ struct Args {
     dry: bool,
     baseline: Option<String>,
     top: usize,
+    /// `--top` appeared explicitly (conflict checks distinguish the
+    /// default from a user request).
+    top_set: bool,
     plan_only: bool,
     threads: usize,
+    shots: usize,
+    seed: u64,
+    seed_set: bool,
+    expect: Vec<String>,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -51,10 +65,22 @@ MODE:
     --plan              print the partition plan and exit
     --baseline <name>   run a comparator instead of Atlas:
                         hyquas|cuquantum|qiskit|qdao
-    --top <k>           print the k most probable outcomes (default 8)
     --threads <k>       host threads for functional execution
-                        (default: all cores; amplitudes are identical
+                        (default: all cores; results are identical
                         for every value)
+
+MEASUREMENTS (functional Atlas runs; computed on the sharded state):
+    --top <k>           print the k most probable outcomes (default 8)
+    --shots <k>         draw k measurement shots and print their counts
+    --seed <s>          RNG seed for --shots (default 0; fixed seed =>
+                        byte-identical samples for any --threads/shape)
+    --expect <paulis>   print the expectation value of a Pauli string
+                        (I/X/Y/Z per qubit, leftmost = highest qubit;
+                        repeatable)
+
+--dry and --plan contradict --top/--shots/--seed/--expect, and
+--baseline contradicts --shots/--seed/--expect; such combinations are
+rejected with exit code 2.
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -68,8 +94,13 @@ fn parse_args() -> Result<Args, String> {
         dry: false,
         baseline: None,
         top: 8,
+        top_set: false,
         plan_only: false,
         threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        shots: 0,
+        seed: 0,
+        seed_set: false,
+        expect: Vec::new(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -96,12 +127,21 @@ fn parse_args() -> Result<Args, String> {
             "--dry" => args.dry = true,
             "--plan" => args.plan_only = true,
             "--baseline" => args.baseline = Some(take(&mut i)?),
-            "--top" => args.top = take(&mut i)?.parse().map_err(|e| format!("--top: {e}"))?,
+            "--top" => {
+                args.top = take(&mut i)?.parse().map_err(|e| format!("--top: {e}"))?;
+                args.top_set = true;
+            }
             "--threads" => {
                 args.threads = take(&mut i)?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--shots" => args.shots = take(&mut i)?.parse().map_err(|e| format!("--shots: {e}"))?,
+            "--seed" => {
+                args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
+                args.seed_set = true;
+            }
+            "--expect" => args.expect.push(take(&mut i)?),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -114,6 +154,52 @@ fn parse_args() -> Result<Args, String> {
         args.local_qubits = args.n;
     }
     Ok(args)
+}
+
+/// Rejects contradictory flag combinations (the measurement flags only
+/// make sense on a functional Atlas run). Returns a usage-error message.
+fn check_flag_conflicts(args: &Args) -> Result<(), String> {
+    let wants_measurements =
+        args.shots > 0 || args.seed_set || args.top_set || !args.expect.is_empty();
+    let measurement_flags = |a: &Args| -> String {
+        let mut f = Vec::new();
+        if a.top_set {
+            f.push("--top");
+        }
+        if a.shots > 0 {
+            f.push("--shots");
+        }
+        if a.seed_set {
+            f.push("--seed");
+        }
+        if !a.expect.is_empty() {
+            f.push("--expect");
+        }
+        f.join("/")
+    };
+    if args.dry && wants_measurements {
+        return Err(format!(
+            "--dry runs the clock model only (no amplitudes); it contradicts {}",
+            measurement_flags(args)
+        ));
+    }
+    if args.plan_only && wants_measurements {
+        return Err(format!(
+            "--plan stops before execution; it contradicts {}",
+            measurement_flags(args)
+        ));
+    }
+    if args.baseline.is_some() && (args.shots > 0 || args.seed_set || !args.expect.is_empty()) {
+        return Err(
+            "--baseline comparators have no sharded measurement engine; \
+             --shots/--seed/--expect need the Atlas path"
+                .to_string(),
+        );
+    }
+    if args.seed_set && args.shots == 0 {
+        return Err("--seed only affects sampling; add --shots".to_string());
+    }
+    Ok(())
 }
 
 fn build_circuit(args: &Args) -> Result<Circuit, String> {
@@ -136,14 +222,20 @@ fn build_circuit(args: &Args) -> Result<Circuit, String> {
     Ok(fam.generate(args.n))
 }
 
+/// Exit code 2: usage error.
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return usage_error(&e),
     };
+    if let Err(e) = check_flag_conflicts(&args) {
+        return usage_error(&e);
+    }
     let circuit = match build_circuit(&args) {
         Ok(c) => c,
         Err(e) => {
@@ -152,6 +244,20 @@ fn main() -> ExitCode {
         }
     };
     let n = circuit.num_qubits();
+    // Validate --expect widths before spending any simulation time.
+    let mut paulis: Vec<PauliString> = Vec::new();
+    for s in &args.expect {
+        match s.parse::<PauliString>() {
+            Ok(p) if p.num_qubits() == n => paulis.push(p),
+            Ok(p) => {
+                return usage_error(&format!(
+                    "--expect {s}: Pauli string spans {} qubits, circuit has {n}",
+                    p.num_qubits()
+                ))
+            }
+            Err(e) => return usage_error(&format!("--expect {s}: {e}")),
+        }
+    }
     let spec = MachineSpec {
         nodes: args.nodes,
         gpus_per_node: args.gpus_per_node,
@@ -160,6 +266,12 @@ fn main() -> ExitCode {
     let cost = CostModel::default();
     let dry = args.dry || n > 26;
     if dry && !args.dry {
+        if args.shots > 0 || !paulis.is_empty() || args.top_set {
+            return usage_error(&format!(
+                "n = {n} exceeds the functional limit (26); \
+                 --top/--shots/--expect need a functional run"
+            ));
+        }
         eprintln!("note: n = {n} exceeds the functional limit; switching to --dry");
     }
 
@@ -187,9 +299,14 @@ fn main() -> ExitCode {
         }
     );
 
+    // The Atlas path never gathers the state: `--top`, `--shots` and
+    // `--expect` all read through the sharded measurement engine, so no
+    // final unpermute pass is needed either.
     let cfg = AtlasConfig {
-        final_unpermute: !dry,
+        final_unpermute: false,
         threads: args.threads.max(1),
+        shots: args.shots,
+        seed: args.seed,
         ..AtlasConfig::default()
     };
 
@@ -224,7 +341,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let (report, state) = match args.baseline.as_deref() {
+    match args.baseline.as_deref() {
         None => {
             let out = match atlas::core::simulate::simulate(&circuit, spec, cost, &cfg, dry) {
                 Ok(o) => o,
@@ -238,7 +355,10 @@ fn main() -> ExitCode {
                 out.plan.stages.len(),
                 out.plan.staging_cost
             );
-            (out.report, out.state)
+            print_report(&out.report);
+            if let Some(m) = &out.measurements {
+                print_measurements(m, out.samples, &args, &paulis, n);
+            }
         }
         Some(b) => {
             let r = match b {
@@ -248,25 +368,72 @@ fn main() -> ExitCode {
                 "qdao" => baselines::qdao_run(&circuit, spec, cost, spec.local_qubits, 19),
                 other => Err(format!("unknown baseline '{other}'")),
             };
-            match r {
-                Ok(o) => (o.report, o.state),
+            let o = match r {
+                Ok(o) => o,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return ExitCode::FAILURE;
                 }
+            };
+            print_report(&o.report);
+            // Baselines gather a dense state; `--top` stays available.
+            if let Some(state) = o.state {
+                println!("top outcomes:");
+                for (idx, p) in state.top_probabilities(args.top) {
+                    println!("  |{idx:0width$b}>  p = {p:.6}", width = n as usize);
+                }
             }
         }
-    };
+    }
+    ExitCode::SUCCESS
+}
 
+fn print_report(report: &atlas::machine::MachineReport) {
     println!(
         "model   : total {:.6} s  (compute {:.6}, comm {:.6}, swap {:.6}; {} kernels)",
         report.total_secs, report.compute_secs, report.comm_secs, report.swap_secs, report.kernels
     );
-    if let Some(state) = state {
-        println!("top outcomes:");
-        for (idx, p) in state.top_probabilities(args.top) {
-            println!("  |{idx:0width$b}>  p = {p:.6}", width = n as usize);
+}
+
+/// Functional-run output through the sharded measurement engine.
+/// `samples` are the shots `simulate` already drew from
+/// `cfg.shots`/`cfg.seed`.
+fn print_measurements(
+    m: &Measurements,
+    samples: Option<Vec<u64>>,
+    args: &Args,
+    paulis: &[PauliString],
+    n: u32,
+) {
+    let width = n as usize;
+    for p in paulis {
+        println!("expect  : <{p}> = {:.9}", m.expectation(p));
+    }
+    if let Some(samples) = samples {
+        println!("shots   : {} (seed {})", samples.len(), args.seed);
+        let counts = atlas::sampler::count_samples(samples);
+        const MAX_LINES: usize = 32;
+        for &(bits, count) in counts.iter().take(MAX_LINES) {
+            println!(
+                "  |{bits:0width$b}>  x {count}  (p^ = {:.6})",
+                count as f64 / args.shots as f64
+            );
+        }
+        if counts.len() > MAX_LINES {
+            let rest: u64 = counts[MAX_LINES..].iter().map(|&(_, c)| c).sum();
+            println!(
+                "  ... {} more outcomes ({} shots)",
+                counts.len() - MAX_LINES,
+                rest
+            );
         }
     }
-    ExitCode::SUCCESS
+    // Top outcomes stay the default readout; once the user asked for
+    // shots or expectations they appear only on explicit request.
+    if args.top_set || (args.shots == 0 && paulis.is_empty()) {
+        println!("top outcomes:");
+        for (idx, p) in m.top(args.top) {
+            println!("  |{idx:0width$b}>  p = {p:.6}");
+        }
+    }
 }

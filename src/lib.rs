@@ -11,6 +11,7 @@ pub use atlas_core as core;
 pub use atlas_ilp as ilp;
 pub use atlas_machine as machine;
 pub use atlas_qmath as qmath;
+pub use atlas_sampler as sampler;
 pub use atlas_statevec as statevec;
 
 /// The names most programs need.
@@ -20,5 +21,6 @@ pub mod prelude {
     pub use atlas_core::simulate::{simulate, SimulationOutput};
     pub use atlas_machine::{CostModel, MachineSpec};
     pub use atlas_qmath::Complex64;
+    pub use atlas_sampler::{Measurements, PauliString};
     pub use atlas_statevec::{simulate_reference, StateVector};
 }

@@ -1,0 +1,181 @@
+//! End-to-end tests of the `atlas-sim` binary: exit codes (0 = success,
+//! 1 = runtime failure, 2 = usage error), rejection of contradictory
+//! flag combinations, and determinism of the measurement output across
+//! thread counts.
+
+use std::process::{Command, Output};
+
+fn atlas_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_atlas-sim"))
+        .args(args)
+        .output()
+        .expect("failed to launch atlas-sim")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn successful_runs_exit_zero() {
+    for args in [
+        vec!["--family", "ghz", "-n", "8"],
+        vec!["--family", "qft", "-n", "8", "--dry"],
+        vec!["--family", "qft", "-n", "8", "--plan"],
+        vec![
+            "--family", "qaoa", "-n", "8", "--shots", "32", "--seed", "7",
+        ],
+        vec!["--family", "ghz", "-n", "8", "--expect", "ZIIIIIIZ"],
+    ] {
+        let out = atlas_sim(&args);
+        assert_eq!(exit_code(&out), 0, "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn contradictory_flags_are_rejected_with_exit_2() {
+    // Each case: (args, substring the error must mention).
+    let cases: Vec<(Vec<&str>, &str)> = vec![
+        (
+            vec!["--family", "qft", "-n", "8", "--dry", "--shots", "16"],
+            "--dry",
+        ),
+        (
+            vec![
+                "--family", "qft", "-n", "8", "--dry", "--expect", "ZZZZZZZZ",
+            ],
+            "--dry",
+        ),
+        (
+            vec!["--family", "qft", "-n", "8", "--dry", "--top", "4"],
+            "--dry",
+        ),
+        (
+            vec!["--family", "qft", "-n", "8", "--plan", "--shots", "16"],
+            "--plan",
+        ),
+        (
+            vec![
+                "--family",
+                "qft",
+                "-n",
+                "8",
+                "--baseline",
+                "qiskit",
+                "--shots",
+                "4",
+            ],
+            "--baseline",
+        ),
+        (vec!["--family", "qft", "-n", "8", "--seed", "3"], "--shots"),
+        (
+            // Auto-dry at n > 26 must not silently drop measurements.
+            vec!["--family", "qft", "-n", "30", "--shots", "4"],
+            "functional",
+        ),
+        (
+            // Pauli width mismatch.
+            vec!["--family", "ghz", "-n", "8", "--expect", "ZZZ"],
+            "8",
+        ),
+        (vec!["--family", "qft", "-n", "8", "--bogus"], "--bogus"),
+        (vec!["--shots"], "missing value"),
+    ];
+    for (args, needle) in cases {
+        let out = atlas_sim(&args);
+        assert_eq!(exit_code(&out), 2, "{args:?} should be a usage error");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?}: error should mention '{needle}', got: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn runtime_failures_exit_one() {
+    for args in [
+        vec!["--family", "nosuchfamily", "-n", "8"],
+        vec!["--qasm", "/nonexistent/file.qasm"],
+        vec!["-n", "8"], // neither --family nor --qasm
+    ] {
+        let out = atlas_sim(&args);
+        assert_eq!(exit_code(&out), 1, "{args:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn seeded_shot_output_is_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = atlas_sim(&[
+            "--family",
+            "qaoa",
+            "-n",
+            "8",
+            "--nodes",
+            "2",
+            "--gpus",
+            "2",
+            "-L",
+            "5",
+            "--shots",
+            "64",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+        stdout(&out)
+    };
+    let t1 = run("1");
+    assert!(
+        t1.contains("shots   : 64 (seed 7)"),
+        "missing header:\n{t1}"
+    );
+    assert_eq!(t1, run("2"));
+    assert_eq!(t1, run("8"));
+}
+
+#[test]
+fn expectation_output_reports_exact_ghz_values() {
+    let out = atlas_sim(&[
+        "--family",
+        "ghz",
+        "-n",
+        "10",
+        "--expect",
+        "ZIIIIIIIIZ",
+        "--expect",
+        "XXXXXXXXXX",
+        "--expect",
+        "ZIIIIIIIII",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    // GHZ: edge ZZ correlator = 1, X^n stabilizer = 1, single Z = 0.
+    assert!(text.contains("<ZIIIIIIIIZ> = 1.000000000"), "{text}");
+    assert!(text.contains("<XXXXXXXXXX> = 1.000000000"), "{text}");
+    assert!(text.contains("<ZIIIIIIIII> = 0.000000000"), "{text}");
+}
+
+#[test]
+fn top_output_comes_from_the_sharded_engine() {
+    // Multi-stage shape: the state stays permuted, --top must still print
+    // logical bitstrings (GHZ's two branches).
+    let out = atlas_sim(&[
+        "--family", "ghz", "-n", "9", "--nodes", "2", "--gpus", "2", "-L", "6", "--top", "2",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("|000000000>  p = 0.500000"), "{text}");
+    assert!(text.contains("|111111111>  p = 0.500000"), "{text}");
+}
