@@ -25,6 +25,7 @@ pub mod swap_based;
 
 use atlas_circuit::Circuit;
 use atlas_core::config::{AtlasConfig, StagingAlgo};
+use atlas_error::AtlasError;
 use atlas_machine::{CostModel, MachineReport, MachineSpec};
 use atlas_statevec::StateVector;
 
@@ -44,7 +45,7 @@ pub fn hyquas(
     spec: MachineSpec,
     cost: CostModel,
     dry: bool,
-) -> Result<BaselineOutput, String> {
+) -> Result<BaselineOutput, AtlasError> {
     let mut cfg = AtlasConfig::hyquas_like();
     cfg.final_unpermute = !dry;
     let out = atlas_core::simulate(circuit, spec, cost, &cfg, dry)?;
@@ -61,7 +62,7 @@ pub fn hyquas_with_ilp_staging(
     spec: MachineSpec,
     cost: CostModel,
     dry: bool,
-) -> Result<BaselineOutput, String> {
+) -> Result<BaselineOutput, AtlasError> {
     let mut cfg = AtlasConfig::hyquas_like();
     cfg.staging = StagingAlgo::IlpSearch;
     cfg.final_unpermute = !dry;
@@ -78,7 +79,7 @@ pub fn cuquantum(
     spec: MachineSpec,
     cost: CostModel,
     dry: bool,
-) -> Result<BaselineOutput, String> {
+) -> Result<BaselineOutput, AtlasError> {
     swap_based::run(
         circuit,
         spec,
@@ -99,7 +100,7 @@ pub fn qiskit(
     spec: MachineSpec,
     cost: CostModel,
     dry: bool,
-) -> Result<BaselineOutput, String> {
+) -> Result<BaselineOutput, AtlasError> {
     swap_based::run(
         circuit,
         spec,
@@ -123,7 +124,7 @@ pub fn qdao_run(
     cost: CostModel,
     m: u32,
     t: u32,
-) -> Result<BaselineOutput, String> {
+) -> Result<BaselineOutput, AtlasError> {
     let report = qdao::run(circuit, spec, cost, m, t)?;
     Ok(BaselineOutput {
         report,

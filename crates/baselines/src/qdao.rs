@@ -14,6 +14,7 @@
 //! gate application is validated elsewhere).
 
 use atlas_circuit::Circuit;
+use atlas_error::AtlasError;
 use atlas_machine::{CostModel, Machine, MachineReport, MachineSpec};
 
 /// Greedy `t`-qubit gate grouping (QDAO §IV-B style).
@@ -45,10 +46,12 @@ pub fn run(
     cost: CostModel,
     m: u32,
     t: u32,
-) -> Result<MachineReport, String> {
+) -> Result<MachineReport, AtlasError> {
     let n = circuit.num_qubits();
     if t > m {
-        return Err("QDAO requires t ≤ m".into());
+        return Err(AtlasError::invalid_config(format!(
+            "QDAO requires t ≤ m (got t = {t}, m = {m})"
+        )));
     }
     // The ledger machine is a single logical device holding the whole
     // state: QDAO's own charges below replace the Atlas-side offload swap

@@ -11,6 +11,7 @@
 
 use crate::BaselineOutput;
 use atlas_circuit::{Circuit, Gate};
+use atlas_error::AtlasError;
 use atlas_machine::{CostModel, Machine, MachineSpec};
 use atlas_qmath::QubitPermutation;
 use atlas_statevec::fuse_gates;
@@ -52,11 +53,15 @@ pub fn run(
     cost: CostModel,
     dry: bool,
     cfg: &SwapSimConfig,
-) -> Result<BaselineOutput, String> {
+) -> Result<BaselineOutput, AtlasError> {
     let n = circuit.num_qubits();
     let l = spec.local_qubits;
     if n < l + spec.global_qubits() {
-        return Err(format!("{}: circuit too small for machine", cfg.name));
+        return Err(AtlasError::CircuitTooSmall {
+            qubits: n,
+            local: l,
+            global: spec.global_qubits(),
+        });
     }
     let mut machine = Machine::new(spec, cost, n, dry);
     let num_shards = machine.num_shards();
@@ -93,10 +98,10 @@ pub fn run(
             let mut victims: Vec<u32> = (0..l).filter(|&p| !needed_phys[p as usize]).collect();
             victims.truncate(nonlocal.len());
             if victims.len() < nonlocal.len() {
-                return Err(format!(
+                return Err(AtlasError::invalid_plan(format!(
                     "{}: group needs more than L local qubits",
                     cfg.name
-                ));
+                )));
             }
             let mut perm_map: Vec<u32> = (0..n).collect();
             for (&q, &v) in nonlocal.iter().zip(&victims) {

@@ -196,6 +196,35 @@ impl Circuit {
         counts.into_iter().collect()
     }
 
+    /// Returns a structurally identical circuit with every gate
+    /// parameter transformed by `f(gate_index, param_index, value)` —
+    /// the re-parameterization primitive of plan-once/run-many sweeps
+    /// (VQC/QAOA points share one partition plan; only angles change).
+    ///
+    /// Gate kinds, qubit wiring and program order are preserved exactly,
+    /// so for generic parameter values the result has the same
+    /// structural fingerprint as `self`. (A transform that lands a
+    /// rotation exactly on an insularity special case such as `RX(π)`
+    /// changes the fingerprint — measure zero in parameter space, and
+    /// correctly rejected at execute time.)
+    pub fn map_params(&self, mut f: impl FnMut(usize, usize, f64) -> f64) -> Circuit {
+        let mut c = Circuit::named(self.n, self.name.clone());
+        for (gi, g) in self.gates.iter().enumerate() {
+            let params = g.kind.params();
+            if params.is_empty() {
+                c.push(*g);
+                continue;
+            }
+            let mapped: Vec<f64> = params
+                .iter()
+                .enumerate()
+                .map(|(pi, &p)| f(gi, pi, p))
+                .collect();
+            c.push(Gate::new(g.kind.with_params(&mapped), g.qubits.as_slice()));
+        }
+        c
+    }
+
     /// Returns a new circuit containing the gates at `indices`, in order.
     pub fn subcircuit(&self, indices: &[usize]) -> Circuit {
         let mut c = Circuit::named(self.n, self.name.clone());

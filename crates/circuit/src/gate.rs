@@ -141,6 +141,40 @@ impl GateKind {
         }
     }
 
+    /// The same kind with its parameters replaced (in
+    /// [`GateKind::params`] order). Parameterless kinds accept only an
+    /// empty slice. This is the re-parameterization primitive behind
+    /// plan-once/run-many sweeps: it can change angles but never the
+    /// gate's arity, control structure, or cost class.
+    ///
+    /// # Panics
+    /// If `params.len()` differs from the kind's parameter count.
+    pub fn with_params(self, params: &[f64]) -> GateKind {
+        use GateKind::*;
+        let expect = self.params().len();
+        assert_eq!(
+            params.len(),
+            expect,
+            "{} takes {expect} parameter(s), got {}",
+            self.name(),
+            params.len()
+        );
+        match self {
+            RX(_) => RX(params[0]),
+            RY(_) => RY(params[0]),
+            RZ(_) => RZ(params[0]),
+            P(_) => P(params[0]),
+            U3(..) => U3(params[0], params[1], params[2]),
+            CP(_) => CP(params[0]),
+            CRX(_) => CRX(params[0]),
+            CRY(_) => CRY(params[0]),
+            CRZ(_) => CRZ(params[0]),
+            RZZ(_) => RZZ(params[0]),
+            RXX(_) => RXX(params[0]),
+            other => other,
+        }
+    }
+
     /// The base (uncontrolled) unitary for this kind. For controlled kinds
     /// this is the controlled matrix itself; see [`GateKind::matrix`].
     fn single_qubit_matrix(self) -> Option<Matrix> {

@@ -1,5 +1,8 @@
-//! Tunable parameters of the Atlas pipeline, with the paper's defaults.
+//! Tunable parameters of the Atlas pipeline, with the paper's defaults,
+//! and the validating [`AtlasConfig::builder`] that rejects incoherent
+//! combinations at construction time.
 
+use atlas_error::AtlasError;
 use std::time::Duration;
 
 /// Which algorithm picks the stages.
@@ -101,6 +104,91 @@ impl Default for AtlasConfig {
 }
 
 impl AtlasConfig {
+    /// Starts a validating builder pre-loaded with the paper defaults.
+    ///
+    /// Unlike struct-literal construction, [`AtlasConfigBuilder::build`]
+    /// rejects incoherent combinations (`threads = 0`, a sampling seed
+    /// without shots, a zero solver budget for the chosen staging
+    /// algorithm, …) with a typed [`AtlasError::InvalidConfig`] — so a
+    /// bad configuration fails at the API boundary instead of deep
+    /// inside the pipeline or via ad-hoc CLI checks.
+    ///
+    /// ```
+    /// use atlas_core::AtlasConfig;
+    /// let cfg = AtlasConfig::builder().threads(8).shots(1024).build().unwrap();
+    /// assert_eq!((cfg.threads, cfg.shots), (8, 1024));
+    /// assert!(AtlasConfig::builder().threads(0).build().is_err());
+    /// ```
+    pub fn builder() -> AtlasConfigBuilder {
+        AtlasConfigBuilder {
+            cfg: AtlasConfig::default(),
+            seed_set: false,
+        }
+    }
+
+    /// Checks an assembled configuration for incoherent combinations —
+    /// the same rules [`AtlasConfigBuilder::build`] enforces. [`Planner`]
+    /// re-validates through this, so hand-built struct literals cannot
+    /// smuggle an invalid configuration past the builder.
+    ///
+    /// [`Planner`]: crate::session::Planner
+    pub fn validate(&self) -> Result<(), AtlasError> {
+        if self.threads == 0 {
+            return Err(AtlasError::invalid_config(
+                "threads = 0: the executor needs at least one host thread",
+            ));
+        }
+        if self.seed != 0 && self.shots == 0 {
+            return Err(AtlasError::invalid_config(format!(
+                "seed {} set without shots: the seed only affects shot sampling",
+                self.seed
+            )));
+        }
+        if self.max_stages == 0 {
+            return Err(AtlasError::invalid_config(
+                "max_stages = 0: staging needs room for at least one stage",
+            ));
+        }
+        // `inter_node_cost_factor = 0` is a legitimate ablation
+        // (communication-cost-blind staging); negative factors would make
+        // the Eq. 2 objective reward extra communication.
+        if self.inter_node_cost_factor < 0 {
+            return Err(AtlasError::invalid_config(format!(
+                "inter_node_cost_factor = {}: a negative Eq. 2 factor rewards \
+                 communication",
+                self.inter_node_cost_factor
+            )));
+        }
+        if self.staging == StagingAlgo::IlpSearch && self.staging_beam_width == 0 {
+            return Err(AtlasError::invalid_config(
+                "staging_beam_width = 0: the staging search keeps no candidates",
+            ));
+        }
+        if self.staging == StagingAlgo::GenericIlp
+            && (self.ilp_node_limit == 0 || self.ilp_time_limit.is_zero())
+        {
+            return Err(AtlasError::invalid_config(
+                "GenericIlp staging with a zero node/time budget can never \
+                 return a plan",
+            ));
+        }
+        match self.kernelizer {
+            KernelAlgo::Dp if self.pruning_threshold == 0 => {
+                return Err(AtlasError::invalid_config(
+                    "pruning_threshold = 0: the kernelize DP would prune every \
+                     candidate kernel",
+                ));
+            }
+            KernelAlgo::Greedy(0) | KernelAlgo::GreedyHybrid(0) => {
+                return Err(AtlasError::invalid_config(
+                    "greedy kernelizer with max_qubits = 0 cannot hold any gate",
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Configuration for functional-correctness runs: exact solvers where
     /// affordable and a final unpermute so amplitudes are directly
     /// comparable to the reference simulator.
@@ -120,5 +208,258 @@ impl AtlasConfig {
             kernelizer: KernelAlgo::GreedyHybrid(6),
             ..Default::default()
         }
+    }
+}
+
+/// Validating builder for [`AtlasConfig`], started by
+/// [`AtlasConfig::builder`].
+///
+/// Setters are chainable and loose (any value is accepted);
+/// [`AtlasConfigBuilder::build`] is where coherence is enforced, so one
+/// `Result` covers the whole construction.
+#[derive(Clone, Debug)]
+pub struct AtlasConfigBuilder {
+    cfg: AtlasConfig,
+    /// `seed()` was called — lets `build` reject an explicit seed (even
+    /// `0`) without shots, which the struct-level validate cannot see.
+    seed_set: bool,
+}
+
+impl AtlasConfigBuilder {
+    /// Sets the inter-node communication cost factor `c` (Eq. 2).
+    pub fn inter_node_cost_factor(mut self, c: i64) -> Self {
+        self.cfg.inter_node_cost_factor = c;
+        self
+    }
+
+    /// Sets the kernelization DP pruning threshold `T` (Appendix B-f).
+    pub fn pruning_threshold(mut self, t: usize) -> Self {
+        self.cfg.pruning_threshold = t;
+        self
+    }
+
+    /// Sets the maximum number of stages Algorithm 2 will try.
+    pub fn max_stages(mut self, s: usize) -> Self {
+        self.cfg.max_stages = s;
+        self
+    }
+
+    /// Sets the generic ILP solver's node budget per stage-count attempt.
+    pub fn ilp_node_limit(mut self, nodes: u64) -> Self {
+        self.cfg.ilp_node_limit = nodes;
+        self
+    }
+
+    /// Sets the generic ILP solver's time budget per stage-count attempt.
+    pub fn ilp_time_limit(mut self, limit: Duration) -> Self {
+        self.cfg.ilp_time_limit = limit;
+        self
+    }
+
+    /// Sets the beam width of the staging search solver.
+    pub fn staging_beam_width(mut self, w: usize) -> Self {
+        self.cfg.staging_beam_width = w;
+        self
+    }
+
+    /// Picks the staging algorithm.
+    pub fn staging(mut self, algo: StagingAlgo) -> Self {
+        self.cfg.staging = algo;
+        self
+    }
+
+    /// Picks the kernelization algorithm.
+    pub fn kernelizer(mut self, algo: KernelAlgo) -> Self {
+        self.cfg.kernelizer = algo;
+        self
+    }
+
+    /// Unpermute the final state back to the identity layout after the
+    /// last stage (validation-style runs).
+    pub fn final_unpermute(mut self, yes: bool) -> Self {
+        self.cfg.final_unpermute = yes;
+        self
+    }
+
+    /// Sets the host-thread budget of the functional executor.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Sets the number of measurement shots to pre-draw after a
+    /// functional run.
+    pub fn shots(mut self, shots: usize) -> Self {
+        self.cfg.shots = shots;
+        self
+    }
+
+    /// Sets the seed of the counter-based measurement RNG. Requires
+    /// [`shots`](AtlasConfigBuilder::shots) `> 0` at build time — a seed
+    /// with nothing to sample is an [`AtlasError::InvalidConfig`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self.seed_set = true;
+        self
+    }
+
+    /// Validates the assembled configuration and returns it.
+    ///
+    /// Rejected combinations (each a distinct
+    /// [`AtlasError::InvalidConfig`] message): zero threads, a seed
+    /// without shots, zero `max_stages`, a negative Eq. 2 cost factor
+    /// (zero stays legal as the communication-cost-blind ablation), a
+    /// zero beam width under `IlpSearch`, a zero ILP budget
+    /// under `GenericIlp`, and a degenerate kernelizer (`Dp` with
+    /// `pruning_threshold = 0`, greedy packers with `max_qubits = 0`).
+    pub fn build(self) -> Result<AtlasConfig, AtlasError> {
+        if self.seed_set && self.cfg.shots == 0 {
+            return Err(AtlasError::invalid_config(format!(
+                "seed {} set without shots: the seed only affects shot sampling",
+                self.cfg.seed
+            )));
+        }
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_struct_defaults() {
+        let built = AtlasConfig::builder().build().unwrap();
+        let default = AtlasConfig::default();
+        assert_eq!(built.inter_node_cost_factor, default.inter_node_cost_factor);
+        assert_eq!(built.pruning_threshold, default.pruning_threshold);
+        assert_eq!(built.max_stages, default.max_stages);
+        assert_eq!(built.staging, default.staging);
+        assert_eq!(built.kernelizer, default.kernelizer);
+        assert_eq!(built.threads, default.threads);
+        assert_eq!(built.shots, default.shots);
+        assert_eq!(built.seed, default.seed);
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let cfg = AtlasConfig::builder()
+            .inter_node_cost_factor(5)
+            .pruning_threshold(100)
+            .max_stages(32)
+            .ilp_node_limit(1000)
+            .ilp_time_limit(Duration::from_secs(2))
+            .staging_beam_width(8)
+            .staging(StagingAlgo::Snuqs)
+            .kernelizer(KernelAlgo::Greedy(5))
+            .final_unpermute(true)
+            .threads(8)
+            .shots(1024)
+            .seed(7)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.inter_node_cost_factor, 5);
+        assert_eq!(cfg.pruning_threshold, 100);
+        assert_eq!(cfg.max_stages, 32);
+        assert_eq!(cfg.ilp_node_limit, 1000);
+        assert_eq!(cfg.ilp_time_limit, Duration::from_secs(2));
+        assert_eq!(cfg.staging_beam_width, 8);
+        assert_eq!(cfg.staging, StagingAlgo::Snuqs);
+        assert_eq!(cfg.kernelizer, KernelAlgo::Greedy(5));
+        assert!(cfg.final_unpermute);
+        assert_eq!((cfg.threads, cfg.shots, cfg.seed), (8, 1024, 7));
+    }
+
+    /// Every invalid combination must be rejected with
+    /// `AtlasError::InvalidConfig` (the variant the CLI maps to a usage
+    /// error), each with a message naming the offending knob.
+    #[test]
+    fn builder_rejects_incoherent_combinations() {
+        use atlas_error::AtlasError;
+        let cases: Vec<(AtlasConfigBuilder, &str)> = vec![
+            (AtlasConfig::builder().threads(0), "threads"),
+            (AtlasConfig::builder().seed(3), "seed"),
+            // An explicit zero seed without shots is still incoherent.
+            (AtlasConfig::builder().seed(0), "seed"),
+            (AtlasConfig::builder().max_stages(0), "max_stages"),
+            (
+                AtlasConfig::builder().inter_node_cost_factor(-1),
+                "inter_node_cost_factor",
+            ),
+            (
+                AtlasConfig::builder()
+                    .staging(StagingAlgo::IlpSearch)
+                    .staging_beam_width(0),
+                "staging_beam_width",
+            ),
+            (
+                AtlasConfig::builder()
+                    .staging(StagingAlgo::GenericIlp)
+                    .ilp_node_limit(0),
+                "budget",
+            ),
+            (
+                AtlasConfig::builder()
+                    .staging(StagingAlgo::GenericIlp)
+                    .ilp_time_limit(Duration::ZERO),
+                "budget",
+            ),
+            (
+                AtlasConfig::builder()
+                    .kernelizer(KernelAlgo::Dp)
+                    .pruning_threshold(0),
+                "pruning_threshold",
+            ),
+            (
+                AtlasConfig::builder().kernelizer(KernelAlgo::Greedy(0)),
+                "max_qubits",
+            ),
+            (
+                AtlasConfig::builder().kernelizer(KernelAlgo::GreedyHybrid(0)),
+                "max_qubits",
+            ),
+        ];
+        for (builder, needle) in cases {
+            match builder.clone().build() {
+                Err(AtlasError::InvalidConfig { reason }) => assert!(
+                    reason.contains(needle),
+                    "expected reason mentioning '{needle}', got: {reason}"
+                ),
+                other => panic!("{builder:?} should be rejected, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incoherence_is_judged_at_build_not_per_setter() {
+        // seed-then-shots is fine: only the final combination counts.
+        let cfg = AtlasConfig::builder().seed(9).shots(16).build().unwrap();
+        assert_eq!((cfg.seed, cfg.shots), (9, 16));
+        // Zero beam width is fine for solvers that don't use it.
+        let cfg = AtlasConfig::builder()
+            .staging(StagingAlgo::Snuqs)
+            .staging_beam_width(0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.staging_beam_width, 0);
+        // Zero pruning threshold is fine off the DP kernelizer.
+        assert!(AtlasConfig::builder()
+            .kernelizer(KernelAlgo::Ordered)
+            .pruning_threshold(0)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn struct_level_validate_catches_nonzero_seed_without_shots() {
+        let cfg = AtlasConfig {
+            seed: 5,
+            ..AtlasConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        assert!(AtlasConfig::default().validate().is_ok());
+        assert!(AtlasConfig::for_validation().validate().is_ok());
+        assert!(AtlasConfig::hyquas_like().validate().is_ok());
     }
 }

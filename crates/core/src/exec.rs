@@ -25,6 +25,7 @@ use crate::kernelize::{self, KGate, KernelCost, Kernelization};
 use crate::plan::{Kernel, KernelKind, Stage};
 use crate::staging::{self, StagingOutcome};
 use atlas_circuit::{insular, Circuit, Gate};
+use atlas_error::AtlasError;
 use atlas_machine::{CostModel, Machine, ShardOp, ShardProgram};
 use atlas_qmath::{Complex64, Matrix, QubitPermutation};
 use atlas_statevec::{classify_kernel, FastKernel, Pool};
@@ -101,6 +102,29 @@ pub struct FullPlan {
     pub l: u32,
     /// Number of global qubits.
     pub g: u32,
+    /// Number of circuit qubits the plan was compiled for.
+    pub n: u32,
+}
+
+impl FullPlan {
+    /// The logical→physical qubit layout the machine is left in after
+    /// EXECUTE: the identity when the run unpermutes at the end
+    /// (`final_unpermute`), otherwise the last stage's mapping
+    /// (outstanding X/Y relabel flips are already applied by `execute`).
+    ///
+    /// The single source of truth for the post-EXECUTE layout — the
+    /// session API's [`Execution`](crate::session::Execution) and the
+    /// [`simulate`](crate::simulate::simulate) shim both hand this to
+    /// the measurement engine.
+    pub fn final_mapping(&self, final_unpermute: bool) -> Vec<u32> {
+        if final_unpermute {
+            return (0..self.n).collect();
+        }
+        self.stages
+            .last()
+            .map(|sp| sp.mapping.clone())
+            .unwrap_or_else(|| (0..self.n).collect())
+    }
 }
 
 /// Builds the logical→physical mapping for a stage, keeping qubits at
@@ -231,7 +255,7 @@ pub fn plan(
     g: u32,
     cost: &CostModel,
     cfg: &AtlasConfig,
-) -> Result<FullPlan, String> {
+) -> Result<FullPlan, AtlasError> {
     let StagingOutcome {
         stages,
         cost: staging_cost,
@@ -252,7 +276,7 @@ pub fn plan_from_stages(
     g: u32,
     cost: &CostModel,
     cfg: &AtlasConfig,
-) -> Result<FullPlan, String> {
+) -> Result<FullPlan, AtlasError> {
     let n = circuit.num_qubits();
     let kc = KernelCost::from_machine(cost);
     let mut plans = Vec::with_capacity(stages.len());
@@ -272,6 +296,7 @@ pub fn plan_from_stages(
         kernel_cost,
         l,
         g,
+        n,
     })
 }
 
@@ -312,25 +337,39 @@ pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &
     if threads > 1 && machine.num_shards() >= threads {
         // Enough independent shards to keep every worker busy.
         atlas_statevec::with_pool(threads, |pool| {
-            execute_on(machine, circuit, plan, cfg, pool)
+            execute_on(machine, Some(circuit), plan, cfg, pool)
         });
     } else {
         // Fewer shards than threads (or serial): no workers to park —
         // shards run inline and each kernel spends the budget on
         // intra-shard group parallelism instead.
-        execute_on(machine, circuit, plan, cfg, &Pool::inline(threads));
+        execute_on(machine, Some(circuit), plan, cfg, &Pool::inline(threads));
     }
 }
 
-/// The body of [`execute`], parameterized on the worker pool.
+/// EXECUTE in dry-run (clock model only) mode, without the circuit.
+///
+/// A dry walk charges kernels and all-to-alls purely from the compiled
+/// [`FullPlan`] — gate matrices are never built — so a
+/// [`CompiledPlan`](crate::session::CompiledPlan) can replay its cost
+/// model without retaining the circuit it was planned from. The machine
+/// must have been created with `dry = true`.
+pub fn execute_dry(machine: &mut Machine, plan: &FullPlan, cfg: &AtlasConfig) {
+    assert!(machine.is_dry(), "execute_dry needs a dry-mode machine");
+    execute_on(machine, None, plan, cfg, &Pool::inline(1));
+}
+
+/// The body of [`execute`] / [`execute_dry`], parameterized on the
+/// worker pool. `circuit` is only read on the functional path (dry
+/// stages charge costs straight from the plan).
 fn execute_on(
     machine: &mut Machine,
-    circuit: &Circuit,
+    circuit: Option<&Circuit>,
     plan: &FullPlan,
     cfg: &AtlasConfig,
     pool: &Pool,
 ) {
-    let n = circuit.num_qubits();
+    let n = plan.n;
     let l = plan.l;
     let num_shards = machine.num_shards();
     let mut carried_flips = 0u64;
@@ -387,7 +426,7 @@ fn permute_mask(perm: &QubitPermutation, mask: u64) -> u64 {
 
 fn execute_stage(
     machine: &mut Machine,
-    circuit: &Circuit,
+    circuit: Option<&Circuit>,
     sp: &StagePlan,
     l: u32,
     num_shards: usize,
@@ -414,6 +453,7 @@ fn execute_stage(
         }
         return;
     }
+    let circuit = circuit.expect("functional execution needs the circuit");
     let programs = build_stage_programs(circuit, sp, l, num_shards);
     machine.run_shard_programs(&programs, pool);
 }

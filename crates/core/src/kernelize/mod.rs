@@ -19,6 +19,7 @@ pub mod greedy;
 pub mod ordered;
 
 use crate::plan::{Kernel, KernelKind};
+use atlas_error::AtlasError;
 use atlas_machine::CostModel;
 
 /// Kernelizer view of one stage gate: its qubit mask (over whatever qubit
@@ -328,25 +329,29 @@ pub fn kernelize_with(
 
 /// Validates that a kernelization covers every gate exactly once and that
 /// every gate fits inside its kernel's qubit set.
-pub fn validate_cover(gates: &[KGate], kernels: &[Kernel]) -> Result<(), String> {
+pub fn validate_cover(gates: &[KGate], kernels: &[Kernel]) -> Result<(), AtlasError> {
     let mut seen = vec![false; gates.len()];
     for k in kernels {
         let kmask = k.qubits.iter().fold(0u64, |m, &q| m | (1 << q));
         for &g in &k.gates {
             if g >= gates.len() {
-                return Err(format!("gate index {g} out of range"));
+                return Err(AtlasError::invalid_plan(format!(
+                    "gate index {g} out of range"
+                )));
             }
             if seen[g] {
-                return Err(format!("gate {g} in two kernels"));
+                return Err(AtlasError::invalid_plan(format!("gate {g} in two kernels")));
             }
             seen[g] = true;
             if gates[g].mask & !kmask != 0 {
-                return Err(format!("gate {g} outside kernel qubit set"));
+                return Err(AtlasError::invalid_plan(format!(
+                    "gate {g} outside kernel qubit set"
+                )));
             }
         }
     }
     if let Some(g) = seen.iter().position(|&s| !s) {
-        return Err(format!("gate {g} not covered"));
+        return Err(AtlasError::invalid_plan(format!("gate {g} not covered")));
     }
     Ok(())
 }

@@ -15,16 +15,27 @@
 //!   across the machine, run each stage's kernels per shard with
 //!   insular-qubit specialization, and perform the all-to-all qubit
 //!   remapping between stages.
-//! * [`simulate`](mod@simulate) — the **SIMULATE** driver tying it all
-//!   together.
+//! * [`session`] — the typed session API: [`Planner`] compiles a circuit
+//!   once into a [`CompiledPlan`]; the plan executes any number of
+//!   same-structure circuits (plan-once/run-many parameter sweeps).
+//! * [`simulate`](mod@simulate) — the one-shot **SIMULATE** driver, a
+//!   thin shim over the session API.
+//!
+//! Every fallible public API returns the workspace-wide structured
+//! [`AtlasError`] (re-exported from `atlas-error`).
+
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod exec;
 pub mod kernelize;
 pub mod plan;
+pub mod session;
 pub mod simulate;
 pub mod staging;
 
-pub use config::AtlasConfig;
+pub use atlas_error::AtlasError;
+pub use config::{AtlasConfig, AtlasConfigBuilder};
 pub use plan::{Kernel, KernelKind, QubitPartition, Stage, StagedKernels};
+pub use session::{CircuitFingerprint, CompiledPlan, Execution, Planner};
 pub use simulate::{simulate, SimulationOutput};

@@ -1,6 +1,7 @@
 //! Plan data types shared by staging, kernelization and execution.
 
 use atlas_circuit::Circuit;
+use atlas_error::AtlasError;
 
 /// A stage's partition of *logical* qubits into local / regional / global
 /// classes (Definition 1). `|local| = L`, `|global| = G`, the rest are
@@ -33,20 +34,31 @@ impl QubitPartition {
 
     /// Checks the partition covers `0..n` exactly once with the required
     /// class sizes.
-    pub fn validate(&self, n: u32, l: u32, g: u32) -> Result<(), String> {
+    pub fn validate(&self, n: u32, l: u32, g: u32) -> Result<(), AtlasError> {
         if self.local.len() != l as usize {
-            return Err(format!("|local| = {} ≠ L = {l}", self.local.len()));
+            return Err(AtlasError::invalid_plan(format!(
+                "|local| = {} ≠ L = {l}",
+                self.local.len()
+            )));
         }
         if self.global.len() != g as usize {
-            return Err(format!("|global| = {} ≠ G = {g}", self.global.len()));
+            return Err(AtlasError::invalid_plan(format!(
+                "|global| = {} ≠ G = {g}",
+                self.global.len()
+            )));
         }
         if self.num_qubits() != n as usize {
-            return Err(format!("partition covers {} ≠ n = {n}", self.num_qubits()));
+            return Err(AtlasError::invalid_plan(format!(
+                "partition covers {} ≠ n = {n}",
+                self.num_qubits()
+            )));
         }
         let mut seen = vec![false; n as usize];
         for &q in self.local.iter().chain(&self.regional).chain(&self.global) {
             if q >= n || seen[q as usize] {
-                return Err(format!("qubit {q} out of range or duplicated"));
+                return Err(AtlasError::invalid_plan(format!(
+                    "qubit {q} out of range or duplicated"
+                )));
             }
             seen[q as usize] = true;
         }
@@ -103,7 +115,12 @@ pub struct StagedKernels {
 /// Validates a staging result against the staging problem's constraints:
 /// every gate appears exactly once, in an order consistent with
 /// dependencies, and each gate's non-insular qubits are local in its stage.
-pub fn validate_stages(circuit: &Circuit, stages: &[Stage], l: u32, g: u32) -> Result<(), String> {
+pub fn validate_stages(
+    circuit: &Circuit,
+    stages: &[Stage],
+    l: u32,
+    g: u32,
+) -> Result<(), AtlasError> {
     let n = circuit.num_qubits();
     let masks = circuit.staging_masks();
     let mut assigned = vec![usize::MAX; circuit.num_gates()];
@@ -112,37 +129,45 @@ pub fn validate_stages(circuit: &Circuit, stages: &[Stage], l: u32, g: u32) -> R
         let local_mask = stage.partition.local_mask();
         for &gi in &stage.gates {
             if gi >= circuit.num_gates() {
-                return Err(format!("stage {k}: gate index {gi} out of range"));
+                return Err(AtlasError::invalid_plan(format!(
+                    "stage {k}: gate index {gi} out of range"
+                )));
             }
             if assigned[gi] != usize::MAX {
-                return Err(format!("gate {gi} assigned to two stages"));
+                return Err(AtlasError::invalid_plan(format!(
+                    "gate {gi} assigned to two stages"
+                )));
             }
             assigned[gi] = k;
             if masks[gi] & !local_mask != 0 {
-                return Err(format!(
+                return Err(AtlasError::invalid_plan(format!(
                     "stage {k}: gate {gi} has non-insular qubits {:#b} outside local set {:#b}",
                     masks[gi], local_mask
-                ));
+                )));
             }
         }
     }
     if let Some(gi) = assigned.iter().position(|&s| s == usize::MAX) {
-        return Err(format!("gate {gi} not assigned to any stage"));
+        return Err(AtlasError::invalid_plan(format!(
+            "gate {gi} not assigned to any stage"
+        )));
     }
     // Dependency order: for every dependency (a, b), stage(a) ≤ stage(b),
     // and within a stage, program order is preserved by construction
     // (stage gate lists are ascending).
     for (a, b) in circuit.dependencies() {
         if assigned[a] > assigned[b] {
-            return Err(format!(
+            return Err(AtlasError::invalid_plan(format!(
                 "dependency violated: gate {a} (stage {}) must precede gate {b} (stage {})",
                 assigned[a], assigned[b]
-            ));
+            )));
         }
     }
     for stage in stages {
         if stage.gates.windows(2).any(|w| w[0] >= w[1]) {
-            return Err("stage gate list not in program order".into());
+            return Err(AtlasError::invalid_plan(
+                "stage gate list not in program order",
+            ));
         }
     }
     Ok(())

@@ -1,0 +1,443 @@
+//! The typed simulation session: [`Planner`] → [`CompiledPlan`] →
+//! [`Execution`].
+//!
+//! Atlas's whole value proposition is that PARTITION (the staging ILP
+//! plus the KERNELIZE DP, Algorithm 1 lines 1–8) is expensive and
+//! EXECUTE (lines 9–17) is where the time should go. The session API
+//! makes that split first-class:
+//!
+//! 1. [`Planner::new`] captures the machine shape, cost model and
+//!    configuration;
+//! 2. [`Planner::plan`] runs PARTITION **once**, producing a
+//!    [`CompiledPlan`] that owns the [`FullPlan`], the per-stage qubit
+//!    mappings, and a [`CircuitFingerprint`] of the planned circuit;
+//! 3. [`CompiledPlan::execute`] runs EXECUTE — **as many times as you
+//!    like** — against any circuit whose structural fingerprint matches
+//!    (same gate graph, different gate parameters), returning an
+//!    [`Execution`] with the clock report, the sharded
+//!    [`Measurements`] engine, pre-drawn samples, and (optionally) the
+//!    gathered state. [`CompiledPlan::dry_run`] replays the clock model
+//!    alone at any scale.
+//!
+//! An N-point VQC/QAOA parameter sweep therefore pays for staging and
+//! kernelization exactly once (`atlas_core::staging::staging_invocations`
+//! observes this; `tests/plan_once.rs` enforces it), which is how the
+//! extended Atlas paper (arXiv:2408.09055) amortizes partitioning across
+//! same-structure circuits.
+//!
+//! ## Why parameter changes are safe
+//!
+//! The plan depends on the circuit only through (a) each gate's qubit
+//! indices, (b) each gate's *insularity signature* (diagonal /
+//! anti-diagonal / non-insular per qubit position — what staging and
+//! specialization key on), and (c) each gate's cost-model class (its
+//! [`GateKind`] discriminant). Gate *matrices* are rebuilt from the
+//! circuit handed to [`CompiledPlan::execute`] on every run. The
+//! fingerprint hashes exactly (a)–(c), so a match guarantees the plan is
+//! valid for the new circuit and a mismatch is rejected with
+//! [`AtlasError::PlanMismatch`] before any state is allocated.
+//!
+//! [`GateKind`]: atlas_circuit::GateKind
+
+use crate::config::AtlasConfig;
+use crate::exec::{self, FullPlan};
+use atlas_circuit::{insular, Circuit};
+use atlas_error::AtlasError;
+use atlas_machine::{CostModel, Machine, MachineReport, MachineSpec};
+use atlas_sampler::Measurements;
+use atlas_statevec::StateVector;
+
+/// Structural fingerprint of a circuit: everything PARTITION's output
+/// depends on, and nothing it doesn't.
+///
+/// Two circuits with equal fingerprints have the same qubit count and
+/// the same gate sequence up to *parameter values* — same gate kinds on
+/// the same qubits with the same insularity signatures — so a plan
+/// compiled for one executes the other correctly. Parameterized
+/// rotations with generic angles (`RZ(0.3)` vs `RZ(0.7)`) fingerprint
+/// identically; a parameter that crosses an insularity special case
+/// (`RX(θ)` → `RX(π)` is anti-diagonal) changes the fingerprint, which
+/// is exactly right because the plan's specialization templates would
+/// no longer apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitFingerprint {
+    hash: u64,
+    num_qubits: u32,
+    num_gates: usize,
+}
+
+/// FNV-1a step over one 64-bit value (hand-rolled: no external hashing
+/// deps, and the value must be stable across runs for snapshot tests).
+#[inline]
+fn fnv_mix(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for shift in [0u32, 16, 32, 48] {
+        h ^= (v >> shift) & 0xffff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl CircuitFingerprint {
+    /// Fingerprints a circuit.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv_mix(h, circuit.num_qubits() as u64);
+        for gate in circuit.gates() {
+            // (c) cost-model class: the gate-kind mnemonic.
+            for b in gate.kind.name().bytes() {
+                h = fnv_mix(h, b as u64);
+            }
+            // (a) qubit indices, in gate-position order.
+            for q in gate.qubits.iter() {
+                h = fnv_mix(h, 0x100 + q as u64);
+            }
+            // (b) insularity signature per qubit position (numeric, so
+            // parameter special cases like RX(π) are captured).
+            for kind in insular::gate_insularity(gate) {
+                h = fnv_mix(
+                    h,
+                    match kind {
+                        insular::InsularKind::Diagonal => 0x201,
+                        insular::InsularKind::AntiDiagonal => 0x202,
+                        insular::InsularKind::NonInsular => 0x203,
+                    },
+                );
+            }
+            h = fnv_mix(h, 0x300); // gate separator
+        }
+        CircuitFingerprint {
+            hash: h,
+            num_qubits: circuit.num_qubits(),
+            num_gates: circuit.num_gates(),
+        }
+    }
+
+    /// The 64-bit structural hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of qubits of the fingerprinted circuit.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of gates of the fingerprinted circuit.
+    pub fn num_gates(&self) -> usize {
+        self.num_gates
+    }
+}
+
+/// Phase 1 of a session: captures the machine shape, cost model and
+/// configuration, and turns circuits into [`CompiledPlan`]s.
+///
+/// ```
+/// use atlas_core::session::Planner;
+/// use atlas_core::AtlasConfig;
+/// use atlas_machine::{CostModel, MachineSpec};
+///
+/// let circuit = atlas_circuit::generators::ghz(8);
+/// let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 5 };
+/// let planner = Planner::new(spec, CostModel::default(), AtlasConfig::default());
+/// let compiled = planner.plan(&circuit).unwrap();
+/// let run = compiled.execute(&circuit).unwrap();
+/// assert!((run.measurements.probability(0) - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Planner {
+    spec: MachineSpec,
+    cost: CostModel,
+    cfg: AtlasConfig,
+}
+
+impl Planner {
+    /// Creates a planner for one machine shape + cost model + config.
+    ///
+    /// Construction is infallible; [`Planner::plan`] validates the
+    /// configuration (so a hand-built struct literal cannot bypass
+    /// [`AtlasConfig::builder`]'s rules) and the circuit/shape fit.
+    pub fn new(spec: MachineSpec, cost: CostModel, cfg: AtlasConfig) -> Self {
+        Planner { spec, cost, cfg }
+    }
+
+    /// The machine shape this planner targets.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The configuration this planner plans under.
+    pub fn config(&self) -> &AtlasConfig {
+        &self.cfg
+    }
+
+    /// PARTITION (Algorithm 1 lines 1–8): stage, map, specialize and
+    /// kernelize `circuit`, returning a reusable [`CompiledPlan`].
+    ///
+    /// Errors: [`AtlasError::InvalidConfig`] for an incoherent
+    /// configuration, [`AtlasError::CircuitTooSmall`] when
+    /// `n < L + G`, and the staging/kernelization failures of
+    /// [`exec::plan`].
+    pub fn plan(&self, circuit: &Circuit) -> Result<CompiledPlan, AtlasError> {
+        self.cfg.validate()?;
+        let n = circuit.num_qubits();
+        let l = self.spec.local_qubits;
+        let g = self.spec.global_qubits();
+        if n < l + g {
+            return Err(AtlasError::CircuitTooSmall {
+                qubits: n,
+                local: l,
+                global: g,
+            });
+        }
+        let plan = exec::plan(circuit, l, g, &self.cost, &self.cfg)?;
+        Ok(CompiledPlan {
+            plan,
+            spec: self.spec,
+            cost: self.cost.clone(),
+            cfg: self.cfg.clone(),
+            fingerprint: CircuitFingerprint::of(circuit),
+        })
+    }
+}
+
+/// Phase 2 of a session: a PARTITION result bound to the machine shape
+/// it was planned for, executable many times.
+///
+/// Owns the [`FullPlan`] (stages, per-stage qubit mappings, insular
+/// specialization templates, kernel lists) and the
+/// [`CircuitFingerprint`] of the planned circuit. [`execute`] accepts
+/// any circuit with a matching fingerprint — same gate graph, different
+/// gate parameters — so a parameter sweep plans once and runs N times.
+///
+/// [`execute`]: CompiledPlan::execute
+#[derive(Clone, Debug)]
+pub struct CompiledPlan {
+    plan: FullPlan,
+    spec: MachineSpec,
+    cost: CostModel,
+    cfg: AtlasConfig,
+    fingerprint: CircuitFingerprint,
+}
+
+impl CompiledPlan {
+    /// The underlying execution plan.
+    pub fn plan(&self) -> &FullPlan {
+        &self.plan
+    }
+
+    /// The structural fingerprint of the circuit this plan was compiled
+    /// from — the acceptance test of [`CompiledPlan::execute`].
+    pub fn fingerprint(&self) -> &CircuitFingerprint {
+        &self.fingerprint
+    }
+
+    /// The machine shape the plan targets.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The configuration the plan was compiled under.
+    pub fn config(&self) -> &AtlasConfig {
+        &self.cfg
+    }
+
+    /// Number of stages.
+    pub fn num_stages(&self) -> usize {
+        self.plan.stages.len()
+    }
+
+    /// Consumes the session wrapper and returns the bare [`FullPlan`]
+    /// (the [`simulate`](crate::simulate::simulate) shim's output keeps
+    /// exposing the plan this way).
+    pub fn into_plan(self) -> FullPlan {
+        self.plan
+    }
+
+    /// Checks that `circuit` may run under this plan.
+    pub fn accepts(&self, circuit: &Circuit) -> bool {
+        CircuitFingerprint::of(circuit) == self.fingerprint
+    }
+
+    /// EXECUTE (Algorithm 1 lines 9–17) on a fresh `|0…0⟩` machine.
+    ///
+    /// Callable any number of times. `circuit` must match the plan's
+    /// structural fingerprint (gate matrices are re-read from *this*
+    /// circuit, so sweep points with different rotation angles reuse the
+    /// plan); otherwise [`AtlasError::PlanMismatch`] is returned before
+    /// any state is allocated.
+    pub fn execute(&self, circuit: &Circuit) -> Result<Execution, AtlasError> {
+        let fp = CircuitFingerprint::of(circuit);
+        if fp != self.fingerprint {
+            return Err(AtlasError::PlanMismatch {
+                reason: format!(
+                    "circuit ({} qubits, {} gates, hash {:#018x}) does not match \
+                     the planned structure ({} qubits, {} gates, hash {:#018x}); \
+                     plans are reusable across same-structure circuits only — \
+                     re-plan for a structurally different circuit",
+                    fp.num_qubits,
+                    fp.num_gates,
+                    fp.hash,
+                    self.fingerprint.num_qubits,
+                    self.fingerprint.num_gates,
+                    self.fingerprint.hash,
+                ),
+            });
+        }
+        let mut machine = Machine::new(self.spec, self.cost.clone(), self.plan.n, false);
+        exec::execute(&mut machine, circuit, &self.plan, &self.cfg);
+        let state = self.cfg.final_unpermute.then(|| machine.gather_state());
+        let report = machine.report();
+        let mapping = self.plan.final_mapping(self.cfg.final_unpermute);
+        let measurements = Measurements::new(machine, mapping, self.cfg.threads.max(1));
+        let samples =
+            (self.cfg.shots > 0).then(|| measurements.sample(self.cfg.shots, self.cfg.seed));
+        Ok(Execution {
+            report,
+            state,
+            measurements,
+            samples,
+        })
+    }
+
+    /// Replays the clock model alone (no amplitudes, any qubit count) —
+    /// the paper-scale dry-run mode. Needs no circuit: dry costs are
+    /// charged straight from the plan.
+    pub fn dry_run(&self) -> MachineReport {
+        let mut machine = Machine::new(self.spec, self.cost.clone(), self.plan.n, true);
+        exec::execute_dry(&mut machine, &self.plan, &self.cfg);
+        machine.report()
+    }
+}
+
+/// Phase 3 of a session: one finished functional EXECUTE.
+///
+/// Carries the clock/traffic report and the sharded [`Measurements`]
+/// engine (which owns the machine's shard buffers); `state` is only
+/// populated when the run's config set
+/// [`final_unpermute`](AtlasConfig::final_unpermute), and `samples` only
+/// when it set [`shots`](AtlasConfig::shots)` > 0`.
+#[derive(Debug)]
+pub struct Execution {
+    /// Machine clock and traffic report for this run.
+    pub report: MachineReport,
+    /// The gathered final state in the identity qubit layout (only with
+    /// [`AtlasConfig::final_unpermute`]; sweeps leave it off and read
+    /// through `measurements`).
+    pub state: Option<StateVector>,
+    /// Measurement engine over the sharded final state: shots,
+    /// marginals, Pauli expectations and top outcomes, all in place.
+    pub measurements: Measurements,
+    /// Pre-drawn shots when the config requested them (equal to
+    /// `measurements.sample(cfg.shots, cfg.seed)`).
+    pub samples: Option<Vec<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_circuit::generators;
+
+    fn small_spec() -> MachineSpec {
+        MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 5,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_generic_parameters() {
+        let a = generators::qaoa(8);
+        let b = a.map_params(|_, _, p| p + 0.125);
+        assert_eq!(CircuitFingerprint::of(&a), CircuitFingerprint::of(&b));
+    }
+
+    #[test]
+    fn fingerprint_sees_structure() {
+        let a = generators::ghz(6);
+        let mut b = generators::ghz(6);
+        b.h(3); // extra gate
+        assert_ne!(CircuitFingerprint::of(&a), CircuitFingerprint::of(&b));
+        // Same kinds, different wiring.
+        let mut c1 = Circuit::new(4);
+        c1.h(0).cx(0, 1);
+        let mut c2 = Circuit::new(4);
+        c2.h(0).cx(0, 2);
+        assert_ne!(CircuitFingerprint::of(&c1), CircuitFingerprint::of(&c2));
+    }
+
+    #[test]
+    fn fingerprint_sees_insularity_special_cases() {
+        // RX(θ) is non-insular for generic θ but anti-diagonal at θ = π:
+        // the plan's specialization templates differ, so the fingerprint
+        // must too.
+        let mut generic = Circuit::new(2);
+        generic.rx(0.7, 0).cx(0, 1);
+        let mut special = Circuit::new(2);
+        special.rx(std::f64::consts::PI, 0).cx(0, 1);
+        assert_ne!(
+            CircuitFingerprint::of(&generic),
+            CircuitFingerprint::of(&special)
+        );
+    }
+
+    #[test]
+    fn execute_rejects_structurally_different_circuit() {
+        let circuit = generators::ghz(8);
+        let planner = Planner::new(small_spec(), CostModel::default(), AtlasConfig::default());
+        let compiled = planner.plan(&circuit).unwrap();
+        let mut other = generators::ghz(8);
+        other.h(7);
+        assert!(!compiled.accepts(&other));
+        match compiled.execute(&other) {
+            Err(AtlasError::PlanMismatch { .. }) => {}
+            other => panic!("expected PlanMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn planner_rejects_too_small_circuit_and_bad_config() {
+        let circuit = generators::ghz(4);
+        let planner = Planner::new(small_spec(), CostModel::default(), AtlasConfig::default());
+        match planner.plan(&circuit) {
+            Err(AtlasError::CircuitTooSmall {
+                qubits: 4,
+                local: 5,
+                global: 1,
+            }) => {}
+            other => panic!("expected CircuitTooSmall, got {other:?}"),
+        }
+        let bad = AtlasConfig {
+            threads: 0,
+            ..AtlasConfig::default()
+        };
+        let planner = Planner::new(MachineSpec::single_gpu(4), CostModel::default(), bad);
+        match planner.plan(&circuit) {
+            Err(AtlasError::InvalidConfig { .. }) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dry_run_matches_simulate_dry_report() {
+        let circuit = generators::qaoa(10);
+        let spec = MachineSpec {
+            nodes: 2,
+            gpus_per_node: 2,
+            local_qubits: 7,
+        };
+        let cfg = AtlasConfig::default();
+        let compiled = Planner::new(spec, CostModel::default(), cfg.clone())
+            .plan(&circuit)
+            .unwrap();
+        let session = compiled.dry_run();
+        let shim = crate::simulate::simulate(&circuit, spec, CostModel::default(), &cfg, true)
+            .unwrap()
+            .report;
+        assert_eq!(session.total_secs.to_bits(), shim.total_secs.to_bits());
+        assert_eq!(session.kernels, shim.kernels);
+    }
+
+    use atlas_circuit::Circuit;
+}

@@ -1,10 +1,24 @@
 //! SIMULATE (Algorithm 1, lines 18–20): the end-to-end driver tying
 //! PARTITION and EXECUTE together on a machine.
+//!
+//! [`simulate`] is a thin shim over the session API
+//! ([`Planner`] → [`CompiledPlan`] → [`Execution`]): it plans and
+//! executes exactly once, fused. Callers that run the same circuit
+//! structure repeatedly (parameter sweeps, serving) should hold the
+//! [`CompiledPlan`] themselves and call
+//! [`CompiledPlan::execute`] per point — planning then happens once.
+//!
+//! [`Planner`]: crate::session::Planner
+//! [`CompiledPlan`]: crate::session::CompiledPlan
+//! [`CompiledPlan::execute`]: crate::session::CompiledPlan::execute
+//! [`Execution`]: crate::session::Execution
 
 use crate::config::AtlasConfig;
-use crate::exec::{self, FullPlan};
+use crate::exec::FullPlan;
+use crate::session::{Execution, Planner};
 use atlas_circuit::Circuit;
-use atlas_machine::{CostModel, Machine, MachineReport, MachineSpec};
+use atlas_error::AtlasError;
+use atlas_machine::{CostModel, MachineReport, MachineSpec};
 use atlas_sampler::Measurements;
 use atlas_statevec::StateVector;
 
@@ -44,41 +58,29 @@ pub fn simulate(
     cost: CostModel,
     cfg: &AtlasConfig,
     dry: bool,
-) -> Result<SimulationOutput, String> {
-    let n = circuit.num_qubits();
-    let l = spec.local_qubits;
-    let g = spec.global_qubits();
-    if n < l + g {
-        return Err(format!("circuit of {n} qubits too small for L={l}, G={g}"));
+) -> Result<SimulationOutput, AtlasError> {
+    let compiled = Planner::new(spec, cost, cfg.clone()).plan(circuit)?;
+    if dry {
+        let report = compiled.dry_run();
+        return Ok(SimulationOutput {
+            plan: compiled.into_plan(),
+            report,
+            state: None,
+            measurements: None,
+            samples: None,
+        });
     }
-    let plan = exec::plan(circuit, l, g, &cost, cfg)?;
-    let mut machine = Machine::new(spec, cost, n, dry);
-    exec::execute(&mut machine, circuit, &plan, cfg);
-    let state = (!dry && cfg.final_unpermute).then(|| machine.gather_state());
-    let report = machine.report();
-    let measurements = (!dry).then(|| {
-        // The machine's layout after EXECUTE: the identity when the run
-        // unpermuted at the end, otherwise the last stage's mapping
-        // (outstanding X/Y flips are already applied by `execute`).
-        let mapping = if cfg.final_unpermute {
-            (0..n).collect()
-        } else {
-            plan.stages
-                .last()
-                .map(|sp| sp.mapping.clone())
-                .unwrap_or_else(|| (0..n).collect())
-        };
-        Measurements::new(machine, mapping, cfg.threads.max(1))
-    });
-    let samples = measurements
-        .as_ref()
-        .filter(|_| cfg.shots > 0)
-        .map(|m| m.sample(cfg.shots, cfg.seed));
-    Ok(SimulationOutput {
-        plan,
+    let Execution {
         report,
         state,
         measurements,
+        samples,
+    } = compiled.execute(circuit)?;
+    Ok(SimulationOutput {
+        plan: compiled.into_plan(),
+        report,
+        state,
+        measurements: Some(measurements),
         samples,
     })
 }

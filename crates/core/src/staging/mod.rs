@@ -11,8 +11,29 @@ pub mod snuqs;
 use crate::config::AtlasConfig;
 use crate::plan::{QubitPartition, Stage};
 use atlas_circuit::Circuit;
+use atlas_error::AtlasError;
 use atlas_ilp::{SolveStatus, SolverConfig};
 use prep::StagingProblem;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Global count of staging-solver invocations (every
+/// [`stage_circuit`] / [`stage_circuit_snuqs`] call increments it).
+///
+/// This is the observability hook behind the session API's
+/// plan-once/run-many guarantee: PARTITION is the expensive phase, so
+/// tests and benchmarks assert that an N-point parameter sweep moves
+/// this counter by exactly one. See [`staging_invocations`].
+static STAGING_INVOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of staging-solver invocations since process start
+/// (monotonically increasing, shared by every thread).
+///
+/// Take a snapshot before a workload and diff afterwards to observe how
+/// many times the expensive PARTITION phase actually ran — the
+/// plan-once/run-many tests are built on this.
+pub fn staging_invocations() -> usize {
+    STAGING_INVOCATIONS.load(Ordering::Relaxed)
+}
 
 /// A staging in solver-internal form: per-stage qubit masks plus the stage
 /// index of every optimization item.
@@ -125,8 +146,9 @@ pub fn stage_circuit(
     l: u32,
     g: u32,
     cfg: &AtlasConfig,
-) -> Result<StagingOutcome, String> {
+) -> Result<StagingOutcome, AtlasError> {
     use crate::config::StagingAlgo;
+    STAGING_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let p = StagingProblem::build(circuit, l, g, cfg.inter_node_cost_factor);
     match cfg.staging {
         StagingAlgo::GenericIlp => {
@@ -134,8 +156,12 @@ pub fn stage_circuit(
             finish(circuit, &p, raw, optimal, l, g)
         }
         StagingAlgo::IlpSearch => {
-            let raw = search::solve_search(&p, cfg.staging_beam_width, cfg.max_stages)
-                .ok_or_else(|| "staging search exhausted max_stages".to_string())?;
+            let raw = search::solve_search(&p, cfg.staging_beam_width, cfg.max_stages).ok_or_else(
+                || AtlasError::StagingFailed {
+                    algo: "IlpSearch",
+                    reason: format!("search exhausted max_stages = {}", cfg.max_stages),
+                },
+            )?;
             let optimal = raw.partitions.len() == 1;
             finish(circuit, &p, raw, optimal, l, g)
         }
@@ -153,7 +179,8 @@ pub fn stage_circuit_snuqs(
     l: u32,
     g: u32,
     cfg: &AtlasConfig,
-) -> Result<StagingOutcome, String> {
+) -> Result<StagingOutcome, AtlasError> {
+    STAGING_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let p = StagingProblem::build(circuit, l, g, cfg.inter_node_cost_factor);
     let raw = snuqs::solve_snuqs(&p);
     finish(circuit, &p, raw, false, l, g)
@@ -166,7 +193,7 @@ fn finish(
     optimal: bool,
     l: u32,
     g: u32,
-) -> Result<StagingOutcome, String> {
+) -> Result<StagingOutcome, AtlasError> {
     let stages = extract_stages(circuit, p, &raw);
     crate::plan::validate_stages(circuit, &stages, l, g)?;
     Ok(StagingOutcome {
@@ -177,7 +204,10 @@ fn finish(
 }
 
 /// Algorithm 2 with the generic ILP: try `s = 1, 2, …` until feasible.
-fn stage_generic_ilp(p: &StagingProblem, cfg: &AtlasConfig) -> Result<(RawStaging, bool), String> {
+fn stage_generic_ilp(
+    p: &StagingProblem,
+    cfg: &AtlasConfig,
+) -> Result<(RawStaging, bool), AtlasError> {
     let solver_cfg = SolverConfig {
         node_limit: cfg.ilp_node_limit,
         time_limit: cfg.ilp_time_limit,
@@ -196,7 +226,20 @@ fn stage_generic_ilp(p: &StagingProblem, cfg: &AtlasConfig) -> Result<(RawStagin
             }
         }
     }
-    Err("generic ILP staging exhausted max_stages".into())
+    // Exhaustion after an Unknown means the per-attempt budget is what
+    // stopped us (a bigger budget might find a plan); exhaustion on pure
+    // Infeasible answers means the model genuinely has no plan within
+    // max_stages.
+    if proof_intact {
+        Err(AtlasError::StagingFailed {
+            algo: "GenericIlp",
+            reason: format!("no feasible staging within max_stages = {}", cfg.max_stages),
+        })
+    } else {
+        Err(AtlasError::IlpBudgetExceeded {
+            max_stages: cfg.max_stages,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,235 @@
+//! # atlas-error
+//!
+//! [`AtlasError`] — the one structured error type every public fallible
+//! API in the workspace returns.
+//!
+//! Before this crate existed, failures crossed crate boundaries as bare
+//! `String`s, so a caller could not tell "this circuit is too small for
+//! the requested machine split" (fix the shape and retry) from "the ILP
+//! solver ran out of budget" (raise the budget or switch solvers)
+//! without parsing prose. The enum below gives each failure family an
+//! identity that `match` can dispatch on — the `atlas-sim` CLI maps
+//! variants to distinct process exit codes, and tests assert on
+//! variants instead of message fragments.
+//!
+//! The type is hand-rolled in the `thiserror` idiom (a `Display` arm and
+//! a structured payload per variant) because the workspace builds
+//! offline with no external dependencies.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+
+/// Structured error type of the Atlas workspace.
+///
+/// Every variant carries the data a caller needs to react
+/// programmatically; [`fmt::Display`] renders the same information as a
+/// human-readable one-liner. The enum is `#[non_exhaustive]` so future
+/// PRs can add failure families without a breaking release.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum AtlasError {
+    /// The circuit has fewer qubits than the machine shape requires
+    /// (`n < L + G`): there is nothing to shard.
+    CircuitTooSmall {
+        /// Number of circuit qubits `n`.
+        qubits: u32,
+        /// Requested local qubits per device `L`.
+        local: u32,
+        /// Requested global (inter-node) qubits `G`.
+        global: u32,
+    },
+    /// The staging solver could not produce a valid stage decomposition.
+    StagingFailed {
+        /// Which staging algorithm failed (e.g. `"IlpSearch"`).
+        algo: &'static str,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The generic ILP solver exhausted its node/time budget before
+    /// proving feasibility or infeasibility at every admissible stage
+    /// count — raising [`ilp_node_limit`] / [`ilp_time_limit`] (or
+    /// switching to `IlpSearch`) may succeed.
+    ///
+    /// [`ilp_node_limit`]: https://docs.rs/atlas-core
+    /// [`ilp_time_limit`]: https://docs.rs/atlas-core
+    IlpBudgetExceeded {
+        /// Highest stage count attempted before giving up.
+        max_stages: usize,
+    },
+    /// A plan-level invariant is violated: a stage cover, kernel cover
+    /// or qubit partition failed validation.
+    InvalidPlan {
+        /// Which invariant broke.
+        reason: String,
+    },
+    /// A configuration was rejected at construction time (the
+    /// `AtlasConfig` builder refuses incoherent combinations instead of
+    /// letting them fail deep inside the pipeline).
+    InvalidConfig {
+        /// Which combination is incoherent.
+        reason: String,
+    },
+    /// Text input (a Pauli string, a QASM file, a CLI value) failed to
+    /// parse.
+    ParseError {
+        /// What was being parsed (e.g. `"Pauli string"`).
+        what: &'static str,
+        /// Byte offset of the offending character in the input, when a
+        /// single position is to blame.
+        position: Option<usize>,
+        /// What went wrong.
+        message: String,
+    },
+    /// A circuit was executed against a `CompiledPlan` whose structural
+    /// fingerprint it does not match: plans are reusable across
+    /// *same-structure* circuits (same gate graph, different gate
+    /// parameters), not across arbitrary ones.
+    PlanMismatch {
+        /// Why the circuit cannot run under the plan.
+        reason: String,
+    },
+}
+
+impl AtlasError {
+    /// Convenience constructor for [`AtlasError::InvalidPlan`].
+    pub fn invalid_plan(reason: impl Into<String>) -> Self {
+        AtlasError::InvalidPlan {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`AtlasError::InvalidConfig`].
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        AtlasError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// A short stable machine-readable name for the variant (used in
+    /// logs and test diagnostics; the CLI derives its exit codes from
+    /// the variant itself, not this string).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AtlasError::CircuitTooSmall { .. } => "circuit-too-small",
+            AtlasError::StagingFailed { .. } => "staging-failed",
+            AtlasError::IlpBudgetExceeded { .. } => "ilp-budget-exceeded",
+            AtlasError::InvalidPlan { .. } => "invalid-plan",
+            AtlasError::InvalidConfig { .. } => "invalid-config",
+            AtlasError::ParseError { .. } => "parse-error",
+            AtlasError::PlanMismatch { .. } => "plan-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for AtlasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtlasError::CircuitTooSmall {
+                qubits,
+                local,
+                global,
+            } => write!(
+                f,
+                "circuit of {qubits} qubits too small for L={local}, G={global}"
+            ),
+            AtlasError::StagingFailed { algo, reason } => {
+                write!(f, "staging ({algo}) failed: {reason}")
+            }
+            AtlasError::IlpBudgetExceeded { max_stages } => write!(
+                f,
+                "generic ILP exhausted its node/time budget without a proof \
+                 through {max_stages} stage(s); raise ilp_node_limit / \
+                 ilp_time_limit or use IlpSearch"
+            ),
+            AtlasError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+            AtlasError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            AtlasError::ParseError {
+                what,
+                position,
+                message,
+            } => match position {
+                Some(p) => write!(f, "cannot parse {what} (at position {p}): {message}"),
+                None => write!(f, "cannot parse {what}: {message}"),
+            },
+            AtlasError::PlanMismatch { reason } => write!(f, "plan mismatch: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AtlasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_a_single_informative_line() {
+        let cases: Vec<(AtlasError, &str)> = vec![
+            (
+                AtlasError::CircuitTooSmall {
+                    qubits: 4,
+                    local: 5,
+                    global: 1,
+                },
+                "circuit of 4 qubits too small for L=5, G=1",
+            ),
+            (
+                AtlasError::invalid_plan("gate 3 not covered"),
+                "invalid plan: gate 3 not covered",
+            ),
+            (
+                AtlasError::invalid_config("threads = 0"),
+                "invalid config: threads = 0",
+            ),
+            (
+                AtlasError::ParseError {
+                    what: "Pauli string",
+                    position: Some(2),
+                    message: "invalid character 'Q'".into(),
+                },
+                "cannot parse Pauli string (at position 2): invalid character 'Q'",
+            ),
+        ];
+        for (e, want) in cases {
+            assert_eq!(e.to_string(), want);
+            assert!(!e.to_string().contains('\n'));
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let all = [
+            AtlasError::CircuitTooSmall {
+                qubits: 0,
+                local: 0,
+                global: 0,
+            },
+            AtlasError::StagingFailed {
+                algo: "IlpSearch",
+                reason: String::new(),
+            },
+            AtlasError::IlpBudgetExceeded { max_stages: 1 },
+            AtlasError::invalid_plan(""),
+            AtlasError::invalid_config(""),
+            AtlasError::ParseError {
+                what: "x",
+                position: None,
+                message: String::new(),
+            },
+            AtlasError::PlanMismatch {
+                reason: String::new(),
+            },
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&AtlasError::invalid_plan("x"));
+    }
+}

@@ -8,6 +8,8 @@
 //! shape of [`atlas_machine::Machine::signed_pair_sum`]. No matrix is
 //! ever built.
 
+use atlas_error::AtlasError;
+
 /// One single-qubit Pauli operator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PauliOp {
@@ -36,22 +38,42 @@ impl PauliString {
     /// Parses a Pauli string from its text form (case-insensitive
     /// `I`/`X`/`Y`/`Z`, leftmost character = highest qubit). The number
     /// of qubits is the string length.
-    pub fn parse(s: &str) -> Result<Self, String> {
+    ///
+    /// Malformed input yields a typed [`AtlasError::ParseError`]; an
+    /// invalid character reports its byte position in the input (counted
+    /// left to right, as the user typed it).
+    pub fn parse(s: &str) -> Result<Self, AtlasError> {
         if s.is_empty() {
-            return Err("empty Pauli string".into());
+            return Err(AtlasError::ParseError {
+                what: "Pauli string",
+                position: None,
+                message: "empty string (one of I/X/Y/Z per qubit)".into(),
+            });
         }
         if s.len() > 64 {
-            return Err(format!("Pauli string of {} qubits exceeds 64", s.len()));
+            return Err(AtlasError::ParseError {
+                what: "Pauli string",
+                position: None,
+                message: format!("{} qubits exceeds the 64-qubit limit", s.len()),
+            });
         }
-        let mut ops = Vec::with_capacity(s.len());
-        for ch in s.chars().rev() {
-            ops.push(match ch.to_ascii_uppercase() {
+        let mut ops = vec![PauliOp::I; s.chars().count()];
+        let n = ops.len();
+        for (pos, ch) in s.chars().enumerate() {
+            // Leftmost character = highest qubit.
+            ops[n - 1 - pos] = match ch.to_ascii_uppercase() {
                 'I' => PauliOp::I,
                 'X' => PauliOp::X,
                 'Y' => PauliOp::Y,
                 'Z' => PauliOp::Z,
-                other => return Err(format!("invalid Pauli character '{other}' (want I/X/Y/Z)")),
-            });
+                other => {
+                    return Err(AtlasError::ParseError {
+                        what: "Pauli string",
+                        position: Some(pos),
+                        message: format!("invalid character '{other}' (want I/X/Y/Z)"),
+                    })
+                }
+            };
         }
         Ok(PauliString { ops })
     }
@@ -120,7 +142,7 @@ impl PauliString {
 }
 
 impl std::str::FromStr for PauliString {
-    type Err = String;
+    type Err = AtlasError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         PauliString::parse(s)
@@ -168,6 +190,48 @@ mod tests {
         );
         assert!(PauliString::parse("").is_err());
         assert!(PauliString::parse("ZQ").is_err());
+    }
+
+    #[test]
+    fn parse_reports_typed_errors_with_positions() {
+        // Bad character: the position is the byte offset as typed
+        // (left to right), not the qubit index.
+        match PauliString::parse("ZIQZ") {
+            Err(AtlasError::ParseError {
+                what: "Pauli string",
+                position: Some(2),
+                message,
+            }) => assert!(message.contains('Q'), "{message}"),
+            other => panic!("expected positioned ParseError, got {other:?}"),
+        }
+        // Lowercase bad character, at the very end.
+        match PauliString::parse("xyzw") {
+            Err(AtlasError::ParseError {
+                position: Some(3), ..
+            }) => {}
+            other => panic!("expected position 3, got {other:?}"),
+        }
+        // Empty input: no single position to blame.
+        match PauliString::parse("") {
+            Err(AtlasError::ParseError {
+                position: None,
+                message,
+                ..
+            }) => assert!(message.contains("empty"), "{message}"),
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+        // Wrong length (> 64 qubits).
+        let too_long = "Z".repeat(65);
+        match PauliString::parse(&too_long) {
+            Err(AtlasError::ParseError {
+                position: None,
+                message,
+                ..
+            }) => assert!(message.contains("64"), "{message}"),
+            other => panic!("expected ParseError, got {other:?}"),
+        }
+        // 64 qubits exactly is fine.
+        assert!(PauliString::parse(&"Z".repeat(64)).is_ok());
     }
 
     #[test]

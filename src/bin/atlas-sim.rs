@@ -10,17 +10,23 @@
 //! ```text
 //! atlas-sim --family qft -n 12 --nodes 2 --gpus 2 -L 9
 //! atlas-sim --family qaoa -n 8 --shots 256 --seed 7
+//! atlas-sim --family qaoa -n 8 --sweep 16 --shots 64 --seed 7
 //! atlas-sim --family ghz -n 10 --expect ZIIIIIIIIZ
 //! atlas-sim --qasm circuit.qasm --nodes 1 --gpus 4 -L 24 --dry
 //! ```
 //!
-//! Exit codes: `0` success, `1` simulation/runtime failure, `2` usage
-//! error (bad or contradictory flags).
+//! Exit codes map [`AtlasError`] variants so scripts can dispatch on the
+//! failure family: `0` success, `1` generic runtime failure, `2` usage
+//! error / invalid configuration, `3` circuit too small for the machine,
+//! `4` staging failed, `5` ILP budget exceeded, `6` invalid plan / plan
+//! mismatch, `7` parse error.
 
 use atlas::baselines;
 use atlas::circuit::qasm;
+use atlas::core::session::Planner;
 use atlas::prelude::*;
 use std::process::ExitCode;
+use std::time::Instant;
 
 struct Args {
     family: Option<String>,
@@ -41,6 +47,8 @@ struct Args {
     seed: u64,
     seed_set: bool,
     expect: Vec<String>,
+    /// `--sweep N`: plan once, execute N re-parameterized points.
+    sweep: usize,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -68,6 +76,11 @@ MODE:
     --threads <k>       host threads for functional execution
                         (default: all cores; results are identical
                         for every value)
+    --sweep <N>         parameter sweep: plan ONCE, then execute N
+                        points of the circuit with shifted gate
+                        parameters (same gate graph) — the session
+                        API's plan-once/run-many path; per-point
+                        execute times go to stderr
 
 MEASUREMENTS (functional Atlas runs; computed on the sharded state):
     --top <k>           print the k most probable outcomes (default 8)
@@ -78,9 +91,16 @@ MEASUREMENTS (functional Atlas runs; computed on the sharded state):
                         (I/X/Y/Z per qubit, leftmost = highest qubit;
                         repeatable)
 
---dry and --plan contradict --top/--shots/--seed/--expect, and
---baseline contradicts --shots/--seed/--expect; such combinations are
-rejected with exit code 2.
+--dry and --plan contradict --top/--shots/--seed/--expect, --baseline
+contradicts --shots/--seed/--expect, and --sweep contradicts
+--dry/--plan/--baseline; such combinations are rejected with exit
+code 2.
+
+EXIT CODES:
+    0 success                 4 staging failed
+    1 runtime failure         5 ILP budget exceeded
+    2 usage / invalid config  6 invalid plan / plan mismatch
+    3 circuit too small       7 parse error
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -101,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         seed_set: false,
         expect: Vec::new(),
+        sweep: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -142,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
                 args.seed_set = true;
             }
             "--expect" => args.expect.push(take(&mut i)?),
+            "--sweep" => args.sweep = take(&mut i)?.parse().map_err(|e| format!("--sweep: {e}"))?,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -196,10 +218,40 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
                 .to_string(),
         );
     }
-    if args.seed_set && args.shots == 0 {
-        return Err("--seed only affects sampling; add --shots".to_string());
+    if args.sweep > 0 {
+        if args.dry {
+            return Err("--sweep re-executes amplitudes; it contradicts --dry".to_string());
+        }
+        if args.plan_only {
+            return Err("--plan stops before execution; it contradicts --sweep".to_string());
+        }
+        if args.baseline.is_some() {
+            return Err("--baseline comparators have no plan-once/run-many path; \
+                 --sweep needs the Atlas session API"
+                .to_string());
+        }
     }
+    // Note: --seed without --shots is now rejected by the AtlasConfig
+    // builder (an InvalidConfig), not by an ad-hoc flag check here.
     Ok(())
+}
+
+/// Maps an [`AtlasError`] to this binary's documented exit codes, after
+/// printing it. Distinct failure families get distinct codes so scripts
+/// (and the CI smoke step) can dispatch without parsing stderr.
+fn error_exit(e: &atlas::core::AtlasError) -> ExitCode {
+    use atlas::core::AtlasError::*;
+    eprintln!("error: {e}");
+    ExitCode::from(match e {
+        InvalidConfig { .. } => 2,
+        CircuitTooSmall { .. } => 3,
+        StagingFailed { .. } => 4,
+        IlpBudgetExceeded { .. } => 5,
+        InvalidPlan { .. } | PlanMismatch { .. } => 6,
+        ParseError { .. } => 7,
+        // Future variants (the enum is non_exhaustive): generic failure.
+        _ => 1,
+    })
 }
 
 fn build_circuit(args: &Args) -> Result<Circuit, String> {
@@ -244,6 +296,20 @@ fn main() -> ExitCode {
         }
     };
     let n = circuit.num_qubits();
+    // Build the config first: like the flag-conflict checks above, an
+    // incoherent configuration (seed without shots, zero threads, …) is
+    // a usage error that must reject before any banner reaches stdout.
+    // Coherence rules live in the AtlasConfig builder, not here.
+    let mut builder = AtlasConfig::builder()
+        .threads(args.threads)
+        .shots(args.shots);
+    if args.seed_set {
+        builder = builder.seed(args.seed);
+    }
+    let cfg = match builder.build() {
+        Ok(c) => c,
+        Err(e) => return error_exit(&e),
+    };
     // Validate --expect widths before spending any simulation time.
     let mut paulis: Vec<PauliString> = Vec::new();
     for s in &args.expect {
@@ -255,7 +321,10 @@ fn main() -> ExitCode {
                     p.num_qubits()
                 ))
             }
-            Err(e) => return usage_error(&format!("--expect {s}: {e}")),
+            Err(e) => {
+                eprintln!("in --expect {s}:");
+                return error_exit(&e);
+            }
         }
     }
     let spec = MachineSpec {
@@ -264,12 +333,21 @@ fn main() -> ExitCode {
         local_qubits: args.local_qubits.min(n),
     };
     let cost = CostModel::default();
+    // Typed up-front check: the machine banner below (shard counts,
+    // offloading) would otherwise assert inside MachineSpec first.
+    if n < spec.local_qubits + spec.global_qubits() {
+        return error_exit(&AtlasError::CircuitTooSmall {
+            qubits: n,
+            local: spec.local_qubits,
+            global: spec.global_qubits(),
+        });
+    }
     let dry = args.dry || n > 26;
     if dry && !args.dry {
-        if args.shots > 0 || !paulis.is_empty() || args.top_set {
+        if args.shots > 0 || !paulis.is_empty() || args.top_set || args.sweep > 0 {
             return usage_error(&format!(
                 "n = {n} exceeds the functional limit (26); \
-                 --top/--shots/--expect need a functional run"
+                 --top/--shots/--expect/--sweep need a functional run"
             ));
         }
         eprintln!("note: n = {n} exceeds the functional limit; switching to --dry");
@@ -299,31 +377,47 @@ fn main() -> ExitCode {
         }
     );
 
-    // The Atlas path never gathers the state: `--top`, `--shots` and
-    // `--expect` all read through the sharded measurement engine, so no
-    // final unpermute pass is needed either.
-    let cfg = AtlasConfig {
-        final_unpermute: false,
-        threads: args.threads.max(1),
-        shots: args.shots,
-        seed: args.seed,
-        ..AtlasConfig::default()
-    };
-
-    if args.plan_only {
-        let plan = match atlas::core::exec::plan(
-            &circuit,
-            spec.local_qubits,
-            spec.global_qubits(),
-            &cost,
-            &cfg,
-        ) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("error: {e}");
+    // The Atlas path below never gathers the state: `--top`, `--shots`
+    // and `--expect` all read through the sharded measurement engine,
+    // so no final unpermute pass is needed either.
+    if let Some(b) = args.baseline.as_deref() {
+        let r = match b {
+            "hyquas" => baselines::hyquas(&circuit, spec, cost, dry),
+            "cuquantum" => baselines::cuquantum(&circuit, spec, cost, dry),
+            "qiskit" => baselines::qiskit(&circuit, spec, cost, dry),
+            "qdao" => baselines::qdao_run(&circuit, spec, cost, spec.local_qubits, 19),
+            other => {
+                eprintln!("error: unknown baseline '{other}'");
                 return ExitCode::FAILURE;
             }
         };
+        let o = match r {
+            Ok(o) => o,
+            Err(e) => return error_exit(&e),
+        };
+        print_report(&o.report);
+        // Baselines gather a dense state; `--top` stays available.
+        if let Some(state) = o.state {
+            println!("top outcomes:");
+            for (idx, p) in state.top_probabilities(args.top) {
+                println!("  |{idx:0width$b}>  p = {p:.6}", width = n as usize);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // The Atlas path: one Planner, one CompiledPlan — executed zero
+    // (--plan), one (default), or N (--sweep) times.
+    let planner = Planner::new(spec, cost, cfg);
+    let t_plan = Instant::now();
+    let compiled = match planner.plan(&circuit) {
+        Ok(c) => c,
+        Err(e) => return error_exit(&e),
+    };
+    let plan_secs = t_plan.elapsed().as_secs_f64();
+    let plan = compiled.plan();
+
+    if args.plan_only {
         println!(
             "plan    : {} stage(s), staging cost {}, kernel cost {:.4} ns/amp",
             plan.stages.len(),
@@ -341,50 +435,48 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    match args.baseline.as_deref() {
-        None => {
-            let out = match atlas::core::simulate::simulate(&circuit, spec, cost, &cfg, dry) {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            println!(
-                "plan    : {} stage(s), staging cost {}",
-                out.plan.stages.len(),
-                out.plan.staging_cost
-            );
-            print_report(&out.report);
-            if let Some(m) = &out.measurements {
-                print_measurements(m, out.samples, &args, &paulis, n);
-            }
-        }
-        Some(b) => {
-            let r = match b {
-                "hyquas" => baselines::hyquas(&circuit, spec, cost, dry),
-                "cuquantum" => baselines::cuquantum(&circuit, spec, cost, dry),
-                "qiskit" => baselines::qiskit(&circuit, spec, cost, dry),
-                "qdao" => baselines::qdao_run(&circuit, spec, cost, spec.local_qubits, 19),
-                other => Err(format!("unknown baseline '{other}'")),
-            };
-            let o = match r {
-                Ok(o) => o,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            print_report(&o.report);
-            // Baselines gather a dense state; `--top` stays available.
-            if let Some(state) = o.state {
-                println!("top outcomes:");
-                for (idx, p) in state.top_probabilities(args.top) {
-                    println!("  |{idx:0width$b}>  p = {p:.6}", width = n as usize);
-                }
-            }
-        }
+    println!(
+        "plan    : {} stage(s), staging cost {}",
+        plan.stages.len(),
+        plan.staging_cost
+    );
+
+    if dry {
+        print_report(&compiled.dry_run());
+        return ExitCode::SUCCESS;
     }
+
+    if args.sweep > 0 {
+        // Plan-once/run-many: the CompiledPlan above is reused for every
+        // point; only gate parameters change. Wall-clock timings go to
+        // stderr so stdout stays byte-deterministic.
+        eprintln!(
+            "sweep   : planned once in {plan_secs:.3} s; executing {} point(s)",
+            args.sweep
+        );
+        for i in 0..args.sweep {
+            let point = circuit.map_params(|_, _, p| p + 0.1 * i as f64);
+            let t_exec = Instant::now();
+            let run = match compiled.execute(&point) {
+                Ok(r) => r,
+                Err(e) => return error_exit(&e),
+            };
+            eprintln!(
+                "point {i} : execute {:.3} s",
+                t_exec.elapsed().as_secs_f64()
+            );
+            println!("point {i} :");
+            print_measurements(&run.measurements, run.samples, &args, &paulis, n);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run = match compiled.execute(&circuit) {
+        Ok(r) => r,
+        Err(e) => return error_exit(&e),
+    };
+    print_report(&run.report);
+    print_measurements(&run.measurements, run.samples, &args, &paulis, n);
     ExitCode::SUCCESS
 }
 

@@ -17,8 +17,10 @@ pub use atlas_statevec as statevec;
 /// The names most programs need.
 pub mod prelude {
     pub use atlas_circuit::{generators::Family, Circuit, Gate, GateKind};
-    pub use atlas_core::config::{AtlasConfig, KernelAlgo, StagingAlgo};
+    pub use atlas_core::config::{AtlasConfig, AtlasConfigBuilder, KernelAlgo, StagingAlgo};
+    pub use atlas_core::session::{CircuitFingerprint, CompiledPlan, Execution, Planner};
     pub use atlas_core::simulate::{simulate, SimulationOutput};
+    pub use atlas_error::AtlasError;
     pub use atlas_machine::{CostModel, MachineSpec};
     pub use atlas_qmath::Complex64;
     pub use atlas_sampler::{Measurements, PauliString};

@@ -1,7 +1,9 @@
-//! End-to-end tests of the `atlas-sim` binary: exit codes (0 = success,
-//! 1 = runtime failure, 2 = usage error), rejection of contradictory
-//! flag combinations, and determinism of the measurement output across
-//! thread counts.
+//! End-to-end tests of the `atlas-sim` binary: the documented exit-code
+//! map (0 success, 1 runtime failure, 2 usage/invalid config, 3 circuit
+//! too small, 4 staging failed, 5 ILP budget exceeded, 6 invalid
+//! plan/plan mismatch, 7 parse error), rejection of contradictory flag
+//! combinations, plan-once `--sweep` runs, and determinism of the
+//! measurement output across thread counts.
 
 use std::process::{Command, Output};
 
@@ -75,11 +77,46 @@ fn contradictory_flags_are_rejected_with_exit_2() {
             ],
             "--baseline",
         ),
-        (vec!["--family", "qft", "-n", "8", "--seed", "3"], "--shots"),
+        (
+            // Seed without shots is now the config builder's InvalidConfig
+            // (still a usage error at the CLI boundary).
+            vec!["--family", "qft", "-n", "8", "--seed", "3"],
+            "shots",
+        ),
+        (
+            vec!["--family", "qft", "-n", "8", "--threads", "0"],
+            "threads",
+        ),
         (
             // Auto-dry at n > 26 must not silently drop measurements.
             vec!["--family", "qft", "-n", "30", "--shots", "4"],
             "functional",
+        ),
+        (
+            // ... nor a sweep.
+            vec!["--family", "qft", "-n", "30", "--sweep", "2"],
+            "functional",
+        ),
+        (
+            vec!["--family", "qft", "-n", "8", "--sweep", "2", "--dry"],
+            "--dry",
+        ),
+        (
+            vec!["--family", "qft", "-n", "8", "--sweep", "2", "--plan"],
+            "--plan",
+        ),
+        (
+            vec![
+                "--family",
+                "qft",
+                "-n",
+                "8",
+                "--sweep",
+                "2",
+                "--baseline",
+                "hyquas",
+            ],
+            "--baseline",
         ),
         (
             // Pauli width mismatch.
@@ -110,6 +147,81 @@ fn runtime_failures_exit_one() {
         let out = atlas_sim(&args);
         assert_eq!(exit_code(&out), 1, "{args:?}: {}", stderr(&out));
     }
+}
+
+#[test]
+fn error_variants_map_to_distinct_exit_codes() {
+    // CircuitTooSmall: n = 8 but L + G = 7 + log2(4 nodes) = 9.
+    let too_small = atlas_sim(&[
+        "--family", "ghz", "-n", "8", "-L", "7", "--nodes", "4", "--gpus", "2",
+    ]);
+    assert_eq!(exit_code(&too_small), 3, "{}", stderr(&too_small));
+    assert!(
+        stderr(&too_small).contains("too small"),
+        "{}",
+        stderr(&too_small)
+    );
+
+    // ParseError: a bad Pauli character in --expect, with its position.
+    let parse = atlas_sim(&["--family", "ghz", "-n", "8", "--expect", "ZIQZZZZZ"]);
+    assert_eq!(exit_code(&parse), 7, "{}", stderr(&parse));
+    assert!(
+        stderr(&parse).contains("position 2"),
+        "parse error should carry the offending position: {}",
+        stderr(&parse)
+    );
+
+    // Distinct variants, distinct codes (the CI smoke step diffs these).
+    assert_ne!(exit_code(&too_small), exit_code(&parse));
+}
+
+#[test]
+fn sweep_plans_once_and_is_deterministic_across_threads() {
+    let run = |threads: &str| {
+        let out = atlas_sim(&[
+            "--family",
+            "qaoa",
+            "-n",
+            "8",
+            "--nodes",
+            "2",
+            "--gpus",
+            "2",
+            "-L",
+            "5",
+            "--sweep",
+            "3",
+            "--shots",
+            "16",
+            "--seed",
+            "7",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+        (stdout(&out), stderr(&out))
+    };
+    let (out1, err1) = run("1");
+    // One plan, three executed points.
+    assert!(
+        err1.contains("planned once"),
+        "sweep header missing:\n{err1}"
+    );
+    for i in 0..3 {
+        assert!(out1.contains(&format!("point {i} :")), "{out1}");
+    }
+    // Different parameters ⇒ the seeded shots differ between points
+    // (the sweep really re-parameterizes).
+    let sections: Vec<&str> = out1.split("point ").collect();
+    assert_eq!(sections.len(), 4);
+    assert_ne!(
+        sections[1], sections[2],
+        "sweep points should produce different measurement output"
+    );
+    // stdout (measurements) is byte-identical across thread counts;
+    // timings go to stderr.
+    let (out8, _) = run("8");
+    assert_eq!(out1, out8);
 }
 
 #[test]
