@@ -524,22 +524,36 @@ fn build_stage_programs(
             }
             KernelKind::SharedMemory => {
                 let per_amp: f64 = kernel.gates.iter().map(|&t| sp.templates[t].shm_ns).sum();
+                // Shards with equal insular bit patterns specialize to the
+                // same part list — build each distinct list once and share
+                // it by Arc (the per-shard scalar stays a separate field
+                // precisely so the parts can be shared).
+                let mut compiled: HashMap<u64, Arc<atlas_machine::ShmPartList>> = HashMap::new();
                 for (s, prog) in programs.iter_mut().enumerate() {
-                    let mut parts: Vec<(Vec<u32>, Matrix)> = Vec::new();
-                    for &t in &kernel.gates {
-                        let tp = &sp.templates[t];
-                        let gate = &circuit.gates()[tp.circuit_gate];
-                        let m = reduce_for_pattern(gate, &tp.reads, s as u64, l);
-                        debug_assert!(tp.local_phys.iter().all(|&q| q < l));
-                        parts.push((tp.local_phys.clone(), m));
-                    }
+                    let key = kernel_pattern(sp, kernel, s as u64, l);
+                    let parts = compiled
+                        .entry(key)
+                        .or_insert_with(|| {
+                            let mut parts: Vec<(Vec<u32>, Matrix)> = Vec::new();
+                            for &t in &kernel.gates {
+                                let tp = &sp.templates[t];
+                                let gate = &circuit.gates()[tp.circuit_gate];
+                                let m = reduce_for_pattern(gate, &tp.reads, s as u64, l);
+                                debug_assert!(tp.local_phys.iter().all(|&q| q < l));
+                                parts.push((tp.local_phys.clone(), m));
+                            }
+                            Arc::new(parts)
+                        })
+                        .clone();
+                    let mut scale = Complex64::ONE;
                     if scalar_pending[s] {
-                        parts.push((Vec::new(), scalar_matrix(shard_scalars[s])));
+                        scale = shard_scalars[s];
                         scalar_pending[s] = false;
                     }
                     prog.push(ShardOp::ShmParts {
                         parts,
                         per_amp_ns: per_amp,
+                        scale,
                     });
                 }
             }
@@ -590,12 +604,6 @@ fn build_fused(
         acc = &expanded * &acc;
     }
     acc
-}
-
-fn scalar_matrix(s: Complex64) -> Matrix {
-    let mut m = Matrix::zeros(1, 1);
-    m[(0, 0)] = s;
-    m
 }
 
 /// Shared-memory active set: the kernel's qubits plus the required three

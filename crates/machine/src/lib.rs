@@ -26,6 +26,6 @@ pub mod topology;
 pub mod traffic;
 
 pub use cost::CostModel;
-pub use machine::{Machine, MachineReport, ShardOp, ShardProgram, StageTiming};
+pub use machine::{Machine, MachineReport, ShardOp, ShardProgram, ShmPartList, StageTiming};
 pub use topology::MachineSpec;
 pub use traffic::{traffic_matrix, TrafficEntry};

@@ -6,9 +6,15 @@ use crate::topology::MachineSpec;
 use crate::traffic::traffic_matrix;
 use atlas_circuit::Gate;
 use atlas_qmath::{Complex64, IndexPermuter, Matrix, QubitPermutation};
-use atlas_statevec::{apply_batched, apply_matrix, measure, FastKernel, Pool, StateVector};
+use atlas_statevec::{
+    apply_batched, apply_matrix, measure, scratch, FastKernel, Pool, Scratch, StateVector,
+};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
+
+/// The (local qubit positions, reduced unitary) part list of a
+/// shared-memory kernel after per-shard insular specialization.
+pub type ShmPartList = Vec<(Vec<u32>, Matrix)>;
 
 /// One instruction of a per-shard program: the executor compiles each
 /// stage's kernels into one [`ShardProgram`] per shard, and the machine
@@ -30,12 +36,18 @@ pub enum ShardOp {
     /// A shared-memory kernel: per-shard specialized (qubits, unitary)
     /// parts applied in order. The shared-memory active window only
     /// matters for the cost model (already folded into `per_amp_ns` by
-    /// the planner) — functionally each part is a whole-shard pass.
+    /// the planner) — functionally each part is a whole-shard pass. The
+    /// parts are `Arc`-shared between shards whose insular bit patterns
+    /// agree (the compiler builds each distinct specialization once).
     ShmParts {
         /// The specialized parts, in program order.
-        parts: Vec<(Vec<u32>, Matrix)>,
+        parts: Arc<ShmPartList>,
         /// Plan-level per-amplitude gate cost (ns) charged for the kernel.
         per_amp_ns: f64,
+        /// Per-shard scalar applied after the parts (`ONE` when absent) —
+        /// equivalent to the former trailing `1×1` scalar part, kept out
+        /// of `parts` so those can be pattern-shared.
+        scale: Complex64,
     },
     /// Multiply the whole shard by a scalar (insular factor that could not
     /// fold into any kernel).
@@ -71,6 +83,10 @@ pub struct StageTiming {
     pub comm: f64,
     /// DRAM-offload swap time (s), zero when every shard is GPU-resident.
     pub swap: f64,
+    /// Bytes this step moved between GPUs within a node.
+    pub bytes_intra: u64,
+    /// Bytes this step moved between nodes.
+    pub bytes_inter: u64,
 }
 
 /// Aggregate clock and traffic report.
@@ -115,6 +131,18 @@ pub struct Machine {
     dry: bool,
     /// Shard buffers (empty vectors in dry-run mode).
     shards: Vec<Vec<Complex64>>,
+    /// Ping-pong twin of `shards` for cross-shard relayouts: allocated
+    /// lazily on the first general permutation and swapped with `shards`
+    /// afterwards, so stage transitions never allocate (or zero-fill)
+    /// fresh amplitude buffers in steady state.
+    spare: Vec<Vec<Complex64>>,
+    /// Single-shard scratch for shard-local (low-bit-closed) permutations,
+    /// allocated lazily and reused.
+    local_scratch: Vec<Complex64>,
+    /// Persistent outer vector of empty shard handles for the pure-relabel
+    /// transition (its buffers are never filled — only `mem::swap`ped),
+    /// so even the handle shuffle allocates nothing in steady state.
+    handles: Vec<Vec<Complex64>>,
     /// Per-GPU compute seconds accumulated since the last barrier.
     pending: Vec<f64>,
     steps: Vec<StageTiming>,
@@ -151,6 +179,9 @@ impl Machine {
             n,
             dry,
             shards,
+            spare: Vec::new(),
+            local_scratch: Vec::new(),
+            handles: Vec::new(),
             pending,
             steps: Vec::new(),
             bytes_intra: 0,
@@ -341,9 +372,11 @@ impl Machine {
             1
         };
         if within > 1 {
-            for (s, prog) in programs.iter().enumerate() {
-                run_program(&mut self.shards[s], prog, within);
-            }
+            scratch::with_thread(|scr| {
+                for (s, prog) in programs.iter().enumerate() {
+                    run_program(&mut self.shards[s], prog, scr, within);
+                }
+            });
         } else {
             // SAFETY: Vec<Complex64> and UnsafeCell<Vec<Complex64>> have
             // identical layout; each pool item `s` only touches shard `s`.
@@ -357,7 +390,10 @@ impl Machine {
             pool.run(num_shards, &|s| {
                 // SAFETY: disjoint indices per item, see above.
                 let amps = unsafe { cell.shard_mut(s) };
-                run_program(amps, &programs[s], 1);
+                // One scratch arena per pool worker; workers persist
+                // across stages, so the arenas stay warm for the whole
+                // EXECUTE and kernel execution allocates nothing.
+                scratch::with_thread(|scr| run_program(amps, &programs[s], scr, 1));
             });
         }
     }
@@ -406,24 +442,26 @@ impl Machine {
         let step = if self.overlap_io {
             StageTiming {
                 compute: compute.max(swap),
-                comm: 0.0,
                 swap: if swap > compute { swap - compute } else { 0.0 },
+                ..Default::default()
             }
         } else {
             StageTiming {
                 compute,
-                comm: 0.0,
                 swap,
+                ..Default::default()
             }
         };
         self.steps.push(step);
         self.pending.iter_mut().for_each(|p| *p = 0.0);
     }
 
-    /// Executes a stage transition: relayouts the state as
-    /// `new_index = perm(old_index) ^ flip`, moving amplitudes between
-    /// devices and charging the interconnect model.
-    pub fn permute_state(&mut self, perm: &QubitPermutation, flip: u64) {
+    /// Charges the interconnect model for the transition
+    /// `new_index = perm(old_index) ^ flip` and records the step. Returns
+    /// whether the functional state needs any data movement at all.
+    /// Shared by [`Machine::permute_state`] and the scatter oracle so the
+    /// two relayout engines can never desynchronize on cost.
+    fn charge_permute(&mut self, perm: &QubitPermutation, flip: u64) -> bool {
         assert_eq!(perm.len() as u32, self.n);
         let l = self.spec.local_qubits;
         let entries = traffic_matrix(perm, flip, self.n, l);
@@ -434,6 +472,8 @@ impl Machine {
         let mut intra_out = vec![0u64; self.spec.num_gpus()];
         let mut inter_out = vec![0u64; self.spec.nodes];
         let mut moved_any = false;
+        let mut step_intra = 0u64;
+        let mut step_inter = 0u64;
         for e in &entries {
             if e.src == e.dst {
                 continue;
@@ -447,15 +487,17 @@ impl Machine {
                 let dst_gpu = self.spec.gpu_of_shard(self.n, e.dst);
                 if src_gpu != dst_gpu {
                     intra_out[src_gpu] += bytes;
-                    self.bytes_intra += bytes;
+                    step_intra += bytes;
                 }
                 // Same GPU (offloaded siblings): host-memory shuffle,
                 // folded into the repack pass below.
             } else {
                 inter_out[src_node] += bytes;
-                self.bytes_inter += bytes;
+                step_inter += bytes;
             }
         }
+        self.bytes_intra += step_intra;
+        self.bytes_inter += step_inter;
         let t_intra = intra_out
             .iter()
             .map(|&b| b as f64 / self.cost.intra_node_bw)
@@ -478,34 +520,150 @@ impl Machine {
             t_local
         };
         self.steps.push(StageTiming {
-            compute: 0.0,
             comm,
-            swap: 0.0,
+            bytes_intra: step_intra,
+            bytes_inter: step_inter,
+            ..Default::default()
         });
+        local_change || moved_any
+    }
 
-        // Functional data movement.
-        if !self.dry && (local_change || moved_any) {
-            let shard_len = self.shard_len();
-            let mut new_shards = vec![vec![Complex64::ZERO; shard_len]; self.shards.len()];
-            for (s, shard) in self.shards.iter().enumerate() {
-                let base = (s as u64) << l;
-                for (i, &a) in shard.iter().enumerate() {
-                    let old = base | i as u64;
-                    let new = perm.apply_index(old) ^ flip;
-                    new_shards[(new >> l) as usize][(new & (shard_len as u64 - 1)) as usize] = a;
+    /// Executes a stage transition: relayouts the state as
+    /// `new_index = perm(old_index) ^ flip`, moving amplitudes between
+    /// devices and charging the interconnect model.
+    ///
+    /// The functional relayout is block-structured, not per-amplitude:
+    ///
+    /// * when the permutation fixes (and `flip` spares) the low `t` bits,
+    ///   amplitudes move in runs of `2^t` via `copy_from_slice` — one
+    ///   index computation per run instead of per element;
+    /// * shard-local permutations (low bits closed under `perm`) run
+    ///   fully in place through a single reusable shard-sized scratch —
+    ///   and a pure shard-*relabel* (only bits `≥ L` move) degenerates to
+    ///   swapping buffer handles without touching any amplitude;
+    /// * everything else ping-pongs between `shards` and the lazily
+    ///   allocated `spare` twin, so steady-state transitions allocate and
+    ///   zero-fill nothing.
+    ///
+    /// Byte-identical to [`Machine::permute_state_scatter`] (pinned by
+    /// `tests/hotpath_exactness.rs`).
+    pub fn permute_state(&mut self, perm: &QubitPermutation, flip: u64) {
+        let needs_move = self.charge_permute(perm, flip);
+        if self.dry || !needs_move {
+            return;
+        }
+        let l = self.spec.local_qubits;
+        let n = self.n;
+        let shard_len = self.shard_len();
+        let low_mask = (shard_len as u64) - 1;
+        // Run length: low bits the transition leaves untouched.
+        let mut t = 0u32;
+        while t < l && perm.dst(t) == t && (flip >> t) & 1 == 0 {
+            t += 1;
+        }
+        let run = 1usize << t;
+
+        let low_closed = (0..l).all(|b| perm.dst(b) < l);
+        if low_closed {
+            // Shard-local content change (if any), in place per shard.
+            let local_identity = (0..l).all(|b| perm.dst(b) == b) && flip & low_mask == 0;
+            if !local_identity {
+                if self.local_scratch.len() != shard_len {
+                    self.local_scratch = vec![Complex64::ZERO; shard_len];
+                }
+                let local_flip = flip & low_mask;
+                for shard in &mut self.shards {
+                    if run == 1 {
+                        for (i, &a) in shard.iter().enumerate() {
+                            let dst = (perm.apply_index(i as u64) ^ local_flip) as usize;
+                            self.local_scratch[dst] = a;
+                        }
+                    } else {
+                        for r in (0..shard_len).step_by(run) {
+                            let dst = (perm.apply_index(r as u64) ^ local_flip) as usize;
+                            self.local_scratch[dst..dst + run].copy_from_slice(&shard[r..r + run]);
+                        }
+                    }
+                    std::mem::swap(shard, &mut self.local_scratch);
                 }
             }
-            self.shards = new_shards;
+            // Shard relocation from the high bits: pure handle shuffle.
+            let high_identity = (l..n).all(|b| perm.dst(b) == b) && (flip >> l) == 0;
+            if !high_identity {
+                let num_shards = self.shards.len();
+                // `handles` always re-ends as all-empty after the double
+                // swap below, so it is reusable as-is next transition.
+                if self.handles.len() != num_shards {
+                    self.handles = vec![Vec::new(); num_shards];
+                }
+                for s in 0..num_shards {
+                    let new_s = ((perm.apply_index((s as u64) << l) ^ flip) >> l) as usize;
+                    std::mem::swap(&mut self.handles[new_s], &mut self.shards[s]);
+                }
+                std::mem::swap(&mut self.shards, &mut self.handles);
+            }
+            return;
         }
+
+        // General cross-boundary relayout: ping-pong into the spare twin,
+        // moving whole runs. Every destination index is written exactly
+        // once (the transition is a bijection), so the spare is never
+        // zero-filled after its one-time allocation.
+        if self.spare.len() != self.shards.len() || self.spare.iter().any(|v| v.len() != shard_len)
+        {
+            self.spare = vec![vec![Complex64::ZERO; shard_len]; self.shards.len()];
+        }
+        for (s, shard) in self.shards.iter().enumerate() {
+            let base = (s as u64) << l;
+            if run == 1 {
+                for (i, &a) in shard.iter().enumerate() {
+                    let new = perm.apply_index(base | i as u64) ^ flip;
+                    self.spare[(new >> l) as usize][(new & low_mask) as usize] = a;
+                }
+            } else {
+                for r in (0..shard_len).step_by(run) {
+                    let new = perm.apply_index(base | r as u64) ^ flip;
+                    let dst = &mut self.spare[(new >> l) as usize];
+                    let off = (new & low_mask) as usize;
+                    dst[off..off + run].copy_from_slice(&shard[r..r + run]);
+                }
+            }
+        }
+        std::mem::swap(&mut self.shards, &mut self.spare);
+    }
+
+    /// The per-amplitude scatter oracle for [`Machine::permute_state`]:
+    /// allocates and fills a fresh shard set, computing every element's
+    /// destination independently. Charged identically; kept in-tree as the
+    /// differential reference and the baseline the hotpath bench measures
+    /// the block-copy engine against.
+    pub fn permute_state_scatter(&mut self, perm: &QubitPermutation, flip: u64) {
+        let needs_move = self.charge_permute(perm, flip);
+        if self.dry || !needs_move {
+            return;
+        }
+        let l = self.spec.local_qubits;
+        let shard_len = self.shard_len();
+        let mut new_shards = vec![vec![Complex64::ZERO; shard_len]; self.shards.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            let base = (s as u64) << l;
+            for (i, &a) in shard.iter().enumerate() {
+                let old = base | i as u64;
+                let new = perm.apply_index(old) ^ flip;
+                new_shards[(new >> l) as usize][(new & (shard_len as u64 - 1)) as usize] = a;
+            }
+        }
+        self.shards = new_shards;
     }
 
     /// Charges communication without data movement (baseline simulators
     /// that model other exchange schemes).
     pub fn charge_comm(&mut self, secs: f64, bytes_intra: u64, bytes_inter: u64) {
         self.steps.push(StageTiming {
-            compute: 0.0,
             comm: secs,
-            swap: 0.0,
+            bytes_intra,
+            bytes_inter,
+            ..Default::default()
         });
         self.bytes_intra += bytes_intra;
         self.bytes_inter += bytes_inter;
@@ -847,19 +1005,23 @@ impl Machine {
 }
 
 /// Applies one shard's program to its amplitude buffer with up to
-/// `threads` threads of intra-shard parallelism. Bit-identical for any
-/// `threads` value (see [`atlas_statevec::parallel`]).
-fn run_program(amps: &mut [Complex64], prog: &ShardProgram, threads: usize) {
+/// `threads` threads of intra-shard parallelism, reusing `scratch` for
+/// every kernel. Bit-identical for any `threads` value (see
+/// [`atlas_statevec::parallel`]).
+fn run_program(amps: &mut [Complex64], prog: &ShardProgram, scratch: &mut Scratch, threads: usize) {
     for op in prog {
         match op {
             ShardOp::Fusion {
                 qubits,
                 kernel,
                 scale,
-            } => atlas_statevec::apply_kernel(amps, qubits, kernel, *scale, threads),
-            ShardOp::ShmParts { parts, .. } => {
-                for (qs, m) in parts {
-                    atlas_statevec::parallel::apply_reduced(amps, qs, m, threads);
+            } => atlas_statevec::apply_kernel_with(scratch, amps, qubits, kernel, *scale, threads),
+            ShardOp::ShmParts { parts, scale, .. } => {
+                for (qs, m) in parts.iter() {
+                    atlas_statevec::parallel::apply_reduced_with(scratch, amps, qs, m, threads);
+                }
+                if !scale.approx_eq(Complex64::ONE, 0.0) {
+                    atlas_statevec::parallel::scale_parallel(amps, *scale, threads);
                 }
             }
             ShardOp::Scale(f) => atlas_statevec::parallel::scale_parallel(amps, *f, threads),

@@ -142,6 +142,16 @@ impl Matrix {
                 .all(|(a, b)| a.approx_eq(*b, eps))
     }
 
+    /// Overwrites `self` with `src` scaled entry-wise by `s`, reusing the
+    /// existing allocation when its capacity suffices. Used by the
+    /// scale-folding kernel path to avoid a fresh matrix clone per gate.
+    pub fn clone_scaled_from(&mut self, src: &Matrix, s: Complex64) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend(src.data.iter().map(|&v| v * s));
+    }
+
     /// Matrix-vector product into a caller-provided output buffer
     /// (`out.len() == rows`, `v.len() == cols`). The fused-kernel hot path.
     pub fn mul_vec_into(&self, v: &[Complex64], out: &mut [Complex64]) {

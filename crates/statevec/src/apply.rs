@@ -5,17 +5,49 @@
 //! Specialized paths cover the shapes that dominate real circuits —
 //! single-qubit, diagonal, controlled, swap — mirroring what a production
 //! GPU simulator specializes in its kernel zoo.
+//!
+//! ## Fast vs. generic forms
+//!
+//! Each structural kernel exists in up to three forms:
+//!
+//! * `apply_*_generic` — the allocation-per-call gather/multiply/scatter
+//!   reference **oracle**. Never dispatches; kept in-tree so the fast
+//!   paths have something to be differentially (and bitwise) tested
+//!   against, and so the hotpath bench can measure the gap.
+//! * `apply_*_with` — the hot form: takes a [`crate::scratch::Scratch`]
+//!   arena (zero steady-state allocations) and dispatches on the layout:
+//!   unrolled `k = 1`/`k = 2` kernels, a contiguous low-window path when
+//!   the qubit set is `{0, …, k-1}` (the layout the kernelizer's
+//!   shared-memory constraint produces — groups are contiguous
+//!   `2^k`-amplitude chunks the compiler can stream), and the generic
+//!   gather form with memoized offset tables otherwise.
+//! * `apply_*` — convenience wrapper over `apply_*_with` using the
+//!   calling thread's arena.
+//!
+//! Every fast path performs **the same floating-point operations in the
+//! same order** as the generic oracle, so fast and generic forms produce
+//! byte-identical amplitudes (pinned by `tests/hotpath_exactness.rs`) —
+//! which is also what keeps serial and thread-parallel execution
+//! byte-identical regardless of which form each one takes.
 
+use crate::scratch::{self, Scratch};
 use atlas_circuit::{Gate, GateKind};
 use atlas_qmath::{deposit_bits, extract_bits, insert_bit, insert_bits, Complex64, Matrix};
 
 /// Applies an arbitrary unitary `m` over `qubits` (matrix bit `t` =
-/// `qubits[t]`) to the amplitude slice.
+/// `qubits[t]`), dispatching to the cheapest layout-matched kernel, using
+/// the calling thread's scratch arena.
 ///
 /// Complexity: `O(4^k)` complex MACs per group × `2^{n-k}` groups, i.e.
-/// `2^{n+k}` MACs total — the most expensive kernel in the zoo, which is
-/// why the specialized paths below exist.
+/// `2^{n+k}` MACs total.
 pub fn apply_matrix(amps: &mut [Complex64], qubits: &[u32], m: &Matrix) {
+    scratch::with_thread(|s| apply_matrix_with(s, amps, qubits, m));
+}
+
+/// The generic gather → dense multiply → scatter oracle for
+/// [`apply_matrix`]: allocates its buffers per call and never takes a
+/// specialized path. The fast forms are bitwise-tested against this.
+pub fn apply_matrix_generic(amps: &mut [Complex64], qubits: &[u32], m: &Matrix) {
     let k = qubits.len();
     assert_eq!(m.rows(), 1 << k, "matrix size does not match qubit count");
     let mut sorted: Vec<u32> = qubits.to_vec();
@@ -35,6 +67,137 @@ pub fn apply_matrix(amps: &mut [Complex64], qubits: &[u32], m: &Matrix) {
         m.mul_vec_into(&inbuf, &mut outbuf);
         for (x, off) in offsets.iter().enumerate() {
             amps[(base | off) as usize] = outbuf[x];
+        }
+    }
+}
+
+/// [`apply_matrix`] with an explicit scratch arena — the zero-allocation
+/// hot form. Dispatch order: unrolled `k = 1`, unrolled `k = 2`,
+/// contiguous low-window chunks, generic gather with a memoized offset
+/// table. All branches are byte-identical to [`apply_matrix_generic`].
+pub fn apply_matrix_with(
+    scratch: &mut Scratch,
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    m: &Matrix,
+) {
+    let k = qubits.len();
+    assert_eq!(m.rows(), 1 << k, "matrix size does not match qubit count");
+    match k {
+        1 => return apply_matrix_1q(amps, qubits[0], m),
+        2 => return apply_matrix_2q(amps, qubits[0], qubits[1], m),
+        _ => {}
+    }
+    let dim = 1usize << k;
+    let (bufs, tables) = scratch.split();
+    let table = tables.lookup(qubits);
+    bufs.outbuf.clear();
+    bufs.outbuf.resize(dim, Complex64::ZERO);
+    if table.identity_order {
+        // The group *is* a contiguous slice and the matrix basis order
+        // matches the memory order: no gather, no offset table — a
+        // straight `chunks_exact_mut` sweep the compiler can vectorize.
+        for chunk in amps.chunks_exact_mut(dim) {
+            m.mul_vec_into(chunk, &mut bufs.outbuf);
+            chunk.copy_from_slice(&bufs.outbuf);
+        }
+        return;
+    }
+    bufs.inbuf.clear();
+    bufs.inbuf.resize(dim, Complex64::ZERO);
+    if table.low_window {
+        // Contiguous chunks, but the matrix basis order is a permutation
+        // of the memory order: gather stays chunk-local.
+        for chunk in amps.chunks_exact_mut(dim) {
+            for (x, &off) in table.offsets.iter().enumerate() {
+                bufs.inbuf[x] = chunk[off as usize];
+            }
+            m.mul_vec_into(&bufs.inbuf, &mut bufs.outbuf);
+            for (x, &off) in table.offsets.iter().enumerate() {
+                chunk[off as usize] = bufs.outbuf[x];
+            }
+        }
+        return;
+    }
+    let groups = amps.len() >> k;
+    for g in 0..groups as u64 {
+        let base = insert_bits(g, &table.sorted);
+        for (x, off) in table.offsets.iter().enumerate() {
+            bufs.inbuf[x] = amps[(base | off) as usize];
+        }
+        m.mul_vec_into(&bufs.inbuf, &mut bufs.outbuf);
+        for (x, off) in table.offsets.iter().enumerate() {
+            amps[(base | off) as usize] = bufs.outbuf[x];
+        }
+    }
+}
+
+/// Unrolled dense single-qubit kernel, byte-identical to the generic
+/// path: each output is accumulated `ZERO → +m·a` in matrix-column order,
+/// exactly like `Matrix::mul_vec_into`.
+fn apply_matrix_1q(amps: &mut [Complex64], q: u32, m: &Matrix) {
+    let (m00, m01) = (m[(0, 0)], m[(0, 1)]);
+    let (m10, m11) = (m[(1, 0)], m[(1, 1)]);
+    if q == 0 {
+        for pair in amps.chunks_exact_mut(2) {
+            let (a0, a1) = (pair[0], pair[1]);
+            pair[0] = m01.mul_add(a1, m00.mul_add(a0, Complex64::ZERO));
+            pair[1] = m11.mul_add(a1, m10.mul_add(a0, Complex64::ZERO));
+        }
+        return;
+    }
+    let stride = 1usize << q;
+    let groups = (amps.len() / 2) as u64;
+    for g in 0..groups {
+        let i0 = insert_bit(g, q) as usize;
+        let i1 = i0 | stride;
+        let (a0, a1) = (amps[i0], amps[i1]);
+        amps[i0] = m01.mul_add(a1, m00.mul_add(a0, Complex64::ZERO));
+        amps[i1] = m11.mul_add(a1, m10.mul_add(a0, Complex64::ZERO));
+    }
+}
+
+/// Unrolled dense two-qubit kernel (matrix bit 0 = `q0`, bit 1 = `q1`),
+/// byte-identical to the generic path.
+fn apply_matrix_2q(amps: &mut [Complex64], q0: u32, q1: u32, m: &Matrix) {
+    let s0 = 1usize << q0;
+    let s1 = 1usize << q1;
+    let sorted = if q0 < q1 { [q0, q1] } else { [q1, q0] };
+    let mut mm = [[Complex64::ZERO; 4]; 4];
+    for (r, row) in mm.iter_mut().enumerate() {
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = m[(r, c)];
+        }
+    }
+    if q0 == 0 && q1 == 1 {
+        // Contiguous group in memory order: no index math at all.
+        for chunk in amps.chunks_exact_mut(4) {
+            let a = [chunk[0], chunk[1], chunk[2], chunk[3]];
+            for (r, row) in mm.iter().enumerate() {
+                chunk[r] = row[3].mul_add(
+                    a[3],
+                    row[2].mul_add(
+                        a[2],
+                        row[1].mul_add(a[1], row[0].mul_add(a[0], Complex64::ZERO)),
+                    ),
+                );
+            }
+        }
+        return;
+    }
+    let groups = (amps.len() >> 2) as u64;
+    for g in 0..groups {
+        let b = insert_bits(g, &sorted) as usize;
+        let idx = [b, b | s0, b | s1, b | s0 | s1];
+        let a = [amps[idx[0]], amps[idx[1]], amps[idx[2]], amps[idx[3]]];
+        for (r, row) in mm.iter().enumerate() {
+            amps[idx[r]] = row[3].mul_add(
+                a[3],
+                row[2].mul_add(
+                    a[2],
+                    row[1].mul_add(a[1], row[0].mul_add(a[0], Complex64::ZERO)),
+                ),
+            );
         }
     }
 }
@@ -103,8 +266,19 @@ pub fn apply_controlled_1q(amps: &mut [Complex64], control_mask: u64, target: u3
 /// every group, `out[dst[x]] = phase[x] * in[x]` over the matrix basis
 /// indices `x`. This is the fast path for X-like / CX-like / swap-like
 /// fused kernels, replacing the dense `O(4^k)` multiply per group with an
-/// `O(2^k)` gather + scaled scatter.
+/// `O(2^k)` gather + scaled scatter. Uses the calling thread's scratch
+/// arena.
 pub fn apply_permutation(amps: &mut [Complex64], qubits: &[u32], dst: &[u32], phase: &[Complex64]) {
+    scratch::with_thread(|s| apply_permutation_with(s, amps, qubits, dst, phase));
+}
+
+/// The allocation-per-call reference oracle for [`apply_permutation`].
+pub fn apply_permutation_generic(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    dst: &[u32],
+    phase: &[Complex64],
+) {
     let k = qubits.len();
     let dim = 1usize << k;
     assert_eq!(dst.len(), dim);
@@ -127,11 +301,69 @@ pub fn apply_permutation(amps: &mut [Complex64], qubits: &[u32], dst: &[u32], ph
     }
 }
 
+/// [`apply_permutation`] with an explicit scratch arena: memoized offset
+/// tables, a reusable destination-offset buffer, and a chunk-local path
+/// for contiguous low-window qubit sets. Byte-identical to
+/// [`apply_permutation_generic`].
+pub fn apply_permutation_with(
+    scratch: &mut Scratch,
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    dst: &[u32],
+    phase: &[Complex64],
+) {
+    let k = qubits.len();
+    let dim = 1usize << k;
+    assert_eq!(dst.len(), dim);
+    assert_eq!(phase.len(), dim);
+    let (bufs, tables) = scratch.split();
+    let table = tables.lookup(qubits);
+    bufs.inbuf.clear();
+    bufs.inbuf.resize(dim, Complex64::ZERO);
+    if table.low_window {
+        // Gather and scaled scatter both stay inside the contiguous chunk.
+        for chunk in amps.chunks_exact_mut(dim) {
+            for (x, &off) in table.offsets.iter().enumerate() {
+                bufs.inbuf[x] = chunk[off as usize];
+            }
+            for (x, &d) in dst.iter().enumerate() {
+                chunk[table.offsets[d as usize] as usize] = phase[x] * bufs.inbuf[x];
+            }
+        }
+        return;
+    }
+    bufs.out_off.clear();
+    bufs.out_off
+        .extend(dst.iter().map(|&d| table.offsets[d as usize]));
+    let groups = amps.len() >> k;
+    for g in 0..groups as u64 {
+        let base = insert_bits(g, &table.sorted);
+        for (x, off) in table.offsets.iter().enumerate() {
+            bufs.inbuf[x] = amps[(base | off) as usize];
+        }
+        for (x, off) in bufs.out_off.iter().enumerate() {
+            amps[(base | off) as usize] = phase[x] * bufs.inbuf[x];
+        }
+    }
+}
+
 /// Applies unitary `m` over `targets`, controlled on every qubit in
 /// `controls` being 1. Groups whose control bits are not all set are
 /// untouched, so the dense multiply runs on a `2^|controls|`-times smaller
-/// subspace than the equivalent full `expand_to_kernel` matrix.
+/// subspace than the equivalent full `expand_to_kernel` matrix. Uses the
+/// calling thread's scratch arena.
 pub fn apply_controlled_matrix(
+    amps: &mut [Complex64],
+    controls: &[u32],
+    targets: &[u32],
+    m: &Matrix,
+) {
+    scratch::with_thread(|s| apply_controlled_matrix_with(s, amps, controls, targets, m));
+}
+
+/// The allocation-per-call reference oracle for
+/// [`apply_controlled_matrix`].
+pub fn apply_controlled_matrix_generic(
     amps: &mut [Complex64],
     controls: &[u32],
     targets: &[u32],
@@ -161,6 +393,45 @@ pub fn apply_controlled_matrix(
     }
 }
 
+/// [`apply_controlled_matrix`] with an explicit scratch arena (memoized
+/// target-offset table, pooled qubit buffer for the control ∪ target
+/// set). Byte-identical to [`apply_controlled_matrix_generic`]; the
+/// subspace skip already makes this kernel cheap, so there is no further
+/// layout specialization.
+pub fn apply_controlled_matrix_with(
+    scratch: &mut Scratch,
+    amps: &mut [Complex64],
+    controls: &[u32],
+    targets: &[u32],
+    m: &Matrix,
+) {
+    let kt = targets.len();
+    assert_eq!(m.rows(), 1 << kt, "matrix size does not match target count");
+    let cmask: u64 = controls.iter().fold(0, |acc, &c| acc | (1u64 << c));
+    let mut all = scratch.take_qubits();
+    all.extend(controls.iter().chain(targets).copied());
+    all.sort_unstable();
+    let dim = 1usize << kt;
+    let (bufs, tables) = scratch.split();
+    let table = tables.lookup(targets);
+    bufs.inbuf.clear();
+    bufs.inbuf.resize(dim, Complex64::ZERO);
+    bufs.outbuf.clear();
+    bufs.outbuf.resize(dim, Complex64::ZERO);
+    let groups = amps.len() >> all.len();
+    for g in 0..groups as u64 {
+        let base = insert_bits(g, &all) | cmask;
+        for (x, off) in table.offsets.iter().enumerate() {
+            bufs.inbuf[x] = amps[(base | off) as usize];
+        }
+        m.mul_vec_into(&bufs.inbuf, &mut bufs.outbuf);
+        for (x, off) in table.offsets.iter().enumerate() {
+            amps[(base | off) as usize] = bufs.outbuf[x];
+        }
+    }
+    scratch.put_qubits(all);
+}
+
 /// Swaps qubits `a` and `b`.
 pub fn apply_swap(amps: &mut [Complex64], a: u32, b: u32) {
     let abit = 1usize << a;
@@ -174,7 +445,7 @@ pub fn apply_swap(amps: &mut [Complex64], a: u32, b: u32) {
 }
 
 /// Extracts the diagonal of a matrix if it is diagonal; `None` otherwise.
-fn diagonal_of(m: &Matrix) -> Option<Vec<Complex64>> {
+pub(crate) fn diagonal_of(m: &Matrix) -> Option<Vec<Complex64>> {
     if !m.is_diagonal(1e-14) {
         return None;
     }
@@ -228,11 +499,11 @@ mod tests {
         sv
     }
 
-    /// Applies every gate through the *general* path only.
+    /// Applies every gate through the *generic oracle* path only.
     fn run_general(c: &Circuit) -> StateVector {
         let mut sv = StateVector::zero_state(c.num_qubits());
         for g in c.gates() {
-            apply_matrix(sv.amplitudes_mut(), g.qubits.as_slice(), &g.matrix());
+            apply_matrix_generic(sv.amplitudes_mut(), g.qubits.as_slice(), &g.matrix());
         }
         sv
     }
@@ -378,6 +649,47 @@ mod tests {
         apply_matrix(a.amplitudes_mut(), &[0, 4, 1], &ccry);
         apply_controlled_matrix(b.amplitudes_mut(), &[0, 4], &[1], &ry);
         assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn dispatched_apply_matrix_is_bitwise_equal_to_generic() {
+        // One case per dispatch branch: unrolled k=1 (contiguous and
+        // strided), unrolled k=2 (both orders), identity-order window,
+        // permuted low window, and the strided generic fallback.
+        let mut prep = Circuit::new(8);
+        for q in 0..8 {
+            prep.h(q).rz(0.13 * (q + 1) as f64, q).t(q);
+        }
+        let base = run(&prep);
+        let cases: Vec<Vec<u32>> = vec![
+            vec![0],
+            vec![5],
+            vec![0, 1],
+            vec![1, 0],
+            vec![3, 6],
+            vec![0, 1, 2],
+            vec![2, 0, 1],
+            vec![1, 4, 7],
+            vec![6, 2, 4, 0],
+        ];
+        for qs in cases {
+            let mut kc = Circuit::new(8);
+            for (i, &q) in qs.iter().enumerate() {
+                kc.h(q).rz(0.3 + i as f64, q);
+                if i > 0 {
+                    kc.cx(qs[i - 1], q);
+                }
+            }
+            let m = crate::fused::fuse_gates(&qs, kc.gates());
+            let mut fast = base.clone();
+            let mut gen = base.clone();
+            apply_matrix(fast.amplitudes_mut(), &qs, &m);
+            apply_matrix_generic(gen.amplitudes_mut(), &qs, &m);
+            for (a, b) in fast.amplitudes().iter().zip(gen.amplitudes()) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{qs:?}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{qs:?}");
+            }
+        }
     }
 
     #[test]

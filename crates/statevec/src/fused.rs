@@ -111,7 +111,10 @@ pub enum FastKernel {
         /// The unitary over `targets`, already projected.
         matrix: Matrix,
     },
-    /// No exploitable structure — dense gather/multiply/scatter.
+    /// No exploitable *algebraic* structure — dense multiply. At apply
+    /// time this still dispatches on **layout** (unrolled `k ≤ 2`,
+    /// contiguous low-window chunks, generic gather; see
+    /// [`crate::apply::apply_matrix_with`]).
     Dense(Matrix),
 }
 
@@ -230,11 +233,27 @@ pub fn classify_kernel(m: &Matrix) -> FastKernel {
 
 /// Applies a compiled kernel over physical qubit positions `qubits`,
 /// folding the scalar `scale` in for free where the form allows it, with
-/// up to `threads` threads of intra-shard parallelism.
+/// up to `threads` threads of intra-shard parallelism. Uses the calling
+/// thread's scratch arena.
 ///
 /// `scale != ONE` requires [`FastKernel::can_fold_scale`]; callers emit a
 /// separate scale pass for `Controlled` kernels.
 pub fn apply_kernel(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    kernel: &FastKernel,
+    scale: Complex64,
+    threads: usize,
+) {
+    crate::scratch::with_thread(|s| apply_kernel_with(s, amps, qubits, kernel, scale, threads));
+}
+
+/// [`apply_kernel`] with an explicit scratch arena: scaled diagonals,
+/// phases and matrices go into pooled buffers instead of per-call
+/// allocations, and the dense/permutation/controlled sub-kernels reuse
+/// the arena's offset tables.
+pub fn apply_kernel_with(
+    scratch: &mut crate::scratch::Scratch,
     amps: &mut [Complex64],
     qubits: &[u32],
     kernel: &FastKernel,
@@ -250,18 +269,26 @@ pub fn apply_kernel(
         }
         FastKernel::Diagonal(diag) => {
             if fold {
-                let scaled: Vec<Complex64> = diag.iter().map(|&d| d * scale).collect();
+                let mut scaled = scratch.take_amps();
+                scaled.extend(diag.iter().map(|&d| d * scale));
                 crate::parallel::apply_diag_parallel(amps, qubits, &scaled, threads);
+                scratch.put_amps(scaled);
             } else {
                 crate::parallel::apply_diag_parallel(amps, qubits, diag, threads);
             }
         }
         FastKernel::Permutation { dst, phase } => {
             if fold {
-                let scaled: Vec<Complex64> = phase.iter().map(|&p| p * scale).collect();
-                crate::parallel::apply_permutation_parallel(amps, qubits, dst, &scaled, threads);
+                let mut scaled = scratch.take_amps();
+                scaled.extend(phase.iter().map(|&p| p * scale));
+                crate::parallel::apply_permutation_parallel_with(
+                    scratch, amps, qubits, dst, &scaled, threads,
+                );
+                scratch.put_amps(scaled);
             } else {
-                crate::parallel::apply_permutation_parallel(amps, qubits, dst, phase, threads);
+                crate::parallel::apply_permutation_parallel_with(
+                    scratch, amps, qubits, dst, phase, threads,
+                );
             }
         }
         FastKernel::Controlled {
@@ -277,21 +304,26 @@ pub fn apply_kernel(
                 // first, but a fold request must never be dropped.
                 crate::parallel::scale_parallel(amps, scale, threads);
             }
-            let cphys: Vec<u32> = controls.iter().map(|&p| qubits[p as usize]).collect();
-            let tphys: Vec<u32> = targets.iter().map(|&p| qubits[p as usize]).collect();
-            crate::parallel::apply_controlled_parallel(amps, &cphys, &tphys, matrix, threads);
+            let mut cphys = scratch.take_qubits();
+            cphys.extend(controls.iter().map(|&p| qubits[p as usize]));
+            let mut tphys = scratch.take_qubits();
+            tphys.extend(targets.iter().map(|&p| qubits[p as usize]));
+            crate::parallel::apply_controlled_parallel_with(
+                scratch, amps, &cphys, &tphys, matrix, threads,
+            );
+            scratch.put_qubits(tphys);
+            scratch.put_qubits(cphys);
         }
         FastKernel::Dense(m) => {
             if fold {
-                let mut scaled = m.clone();
-                for r in 0..scaled.rows() {
-                    for c in 0..scaled.cols() {
-                        scaled[(r, c)] *= scale;
-                    }
-                }
-                crate::parallel::apply_matrix_parallel(amps, qubits, &scaled, threads);
+                let mut scaled = scratch.take_matrix();
+                scaled.clone_scaled_from(m, scale);
+                crate::parallel::apply_matrix_parallel_with(
+                    scratch, amps, qubits, &scaled, threads,
+                );
+                scratch.put_matrix(scaled);
             } else {
-                crate::parallel::apply_matrix_parallel(amps, qubits, m, threads);
+                crate::parallel::apply_matrix_parallel_with(scratch, amps, qubits, m, threads);
             }
         }
     }

@@ -6,8 +6,11 @@
 //! kernel matrices with structure-aware classification ([`FastKernel`]),
 //! shared-memory-style batched execution (the CPU analogue of HyQuas
 //! SHM-GROUPING that Atlas' shared-memory kernels model), a
-//! multi-threaded apply path, and the persistent worker [`pool`] the
-//! distributed executor schedules shard kernels on.
+//! multi-threaded apply path, the per-worker [`scratch`] arena that makes
+//! steady-state kernel execution allocation-free, and the persistent
+//! worker [`pool`] the distributed executor schedules shard kernels on.
+//! See `docs/PERFORMANCE.md` for the kernel dispatch table and the
+//! scratch-arena lifecycle.
 //!
 //! All apply functions operate on raw `&mut [Complex64]` amplitude slices so
 //! that `atlas-machine` device memories and `atlas-core` shards can reuse
@@ -21,14 +24,18 @@ pub mod fused;
 pub mod measure;
 pub mod parallel;
 pub mod pool;
+pub mod scratch;
 pub mod state;
 
-pub use apply::{apply_gate, apply_matrix};
-pub use batched::apply_batched;
-pub use fused::{apply_kernel, classify_kernel, expand_to_kernel, fuse_gates, FastKernel};
+pub use apply::{apply_gate, apply_matrix, apply_matrix_generic, apply_matrix_with};
+pub use batched::{apply_batched, apply_batched_with};
+pub use fused::{
+    apply_kernel, apply_kernel_with, classify_kernel, expand_to_kernel, fuse_gates, FastKernel,
+};
 pub use measure::{chunk_norms, norm_sqr_slice, signed_norm, signed_pair_sum, TopK, MEASURE_CHUNK};
-pub use parallel::{apply_matrix_parallel, PARALLEL_GROUP_CUTOFF};
+pub use parallel::{apply_matrix_parallel, apply_matrix_parallel_with, PARALLEL_GROUP_CUTOFF};
 pub use pool::{with_pool, Pool};
+pub use scratch::Scratch;
 pub use state::StateVector;
 
 use atlas_circuit::Circuit;

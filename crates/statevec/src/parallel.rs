@@ -13,8 +13,9 @@
 //! are divided among threads — there are no cross-group reductions. The
 //! thread-count determinism test in the integration suite relies on this.
 
+use crate::scratch::{self, Scratch};
 use atlas_circuit::Gate;
-use atlas_qmath::{deposit_bits, insert_bits, Complex64, Matrix};
+use atlas_qmath::{insert_bits, Complex64, Matrix};
 use std::cell::UnsafeCell;
 
 /// Minimum number of independent groups before a kernel is worth
@@ -102,28 +103,66 @@ fn effective_threads_elementwise(threads: usize, elements: usize) -> usize {
     }
 }
 
-/// Applies unitary `m` over `qubits` using up to `threads` OS threads.
-/// Functionally identical to [`crate::apply::apply_matrix`] — bit-exact,
-/// not just approximately equal.
+/// Applies unitary `m` over `qubits` using up to `threads` OS threads,
+/// with the calling thread's scratch arena. Bit-exact against the serial
+/// [`crate::apply::apply_matrix`], not just approximately equal.
 pub fn apply_matrix_parallel(amps: &mut [Complex64], qubits: &[u32], m: &Matrix, threads: usize) {
+    scratch::with_thread(|s| apply_matrix_parallel_with(s, amps, qubits, m, threads));
+}
+
+/// [`apply_matrix_parallel`] with an explicit scratch arena. The serial
+/// fallback reuses the arena; the threaded path reads the memoized offset
+/// table from it (worker-local gather buffers are allocated per spawn —
+/// amortized by the thread launch itself) and takes a contiguous
+/// split-the-slice path for identity-order low windows.
+pub fn apply_matrix_parallel_with(
+    scratch: &mut Scratch,
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    m: &Matrix,
+    threads: usize,
+) {
     let k = qubits.len();
     assert_eq!(m.rows(), 1 << k);
     let groups = amps.len() >> k;
     let threads = effective_threads(threads, groups);
     if threads == 1 {
-        crate::apply::apply_matrix(amps, qubits, m);
+        crate::apply::apply_matrix_with(scratch, amps, qubits, m);
         return;
     }
-    let mut sorted: Vec<u32> = qubits.to_vec();
-    sorted.sort_unstable();
     let dim = 1usize << k;
-    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, qubits)).collect();
+    let (_, tables) = scratch.split();
+    let table = tables.lookup(qubits);
+    if table.identity_order {
+        // Groups are contiguous chunks, so a thread's group range is a
+        // contiguous subslice: hand each worker a real `&mut` split
+        // instead of going through the shared-cell wrapper.
+        let chunk_amps = groups.div_ceil(threads) << k;
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Complex64] = amps;
+            while !rest.is_empty() {
+                let take = chunk_amps.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                scope.spawn(move || {
+                    let mut outbuf = vec![Complex64::ZERO; dim];
+                    for chunk in head.chunks_exact_mut(dim) {
+                        m.mul_vec_into(chunk, &mut outbuf);
+                        chunk.copy_from_slice(&outbuf);
+                    }
+                });
+            }
+        });
+        return;
+    }
+    let sorted = &table.sorted;
+    let offsets = &table.offsets;
     let cell = AmpCell::new(amps);
     run_group_ranges(groups, threads, &|lo, hi| {
         let mut inbuf = vec![Complex64::ZERO; dim];
         let mut outbuf = vec![Complex64::ZERO; dim];
         for g in lo..hi {
-            let base = insert_bits(g, &sorted);
+            let base = insert_bits(g, sorted);
             for (x, off) in offsets.iter().enumerate() {
                 // SAFETY: distinct groups touch disjoint indices.
                 inbuf[x] = unsafe { cell.read((base | off) as usize) };
@@ -167,8 +206,21 @@ pub fn apply_diag_parallel(
     });
 }
 
-/// Parallel twin of [`crate::apply::apply_permutation`]. Bit-exact.
+/// Parallel twin of [`crate::apply::apply_permutation`]. Bit-exact. Uses
+/// the calling thread's scratch arena.
 pub fn apply_permutation_parallel(
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    dst: &[u32],
+    phase: &[Complex64],
+    threads: usize,
+) {
+    scratch::with_thread(|s| apply_permutation_parallel_with(s, amps, qubits, dst, phase, threads));
+}
+
+/// [`apply_permutation_parallel`] with an explicit scratch arena.
+pub fn apply_permutation_parallel_with(
+    scratch: &mut Scratch,
     amps: &mut [Complex64],
     qubits: &[u32],
     dst: &[u32],
@@ -182,18 +234,22 @@ pub fn apply_permutation_parallel(
     let groups = amps.len() >> k;
     let threads = effective_threads(threads, groups);
     if threads == 1 {
-        crate::apply::apply_permutation(amps, qubits, dst, phase);
+        crate::apply::apply_permutation_with(scratch, amps, qubits, dst, phase);
         return;
     }
-    let mut sorted: Vec<u32> = qubits.to_vec();
-    sorted.sort_unstable();
-    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, qubits)).collect();
-    let out_off: Vec<u64> = dst.iter().map(|&d| offsets[d as usize]).collect();
+    let (bufs, tables) = scratch.split();
+    let table = tables.lookup(qubits);
+    bufs.out_off.clear();
+    bufs.out_off
+        .extend(dst.iter().map(|&d| table.offsets[d as usize]));
+    let sorted = &table.sorted;
+    let offsets = &table.offsets;
+    let out_off = &bufs.out_off;
     let cell = AmpCell::new(amps);
     run_group_ranges(groups, threads, &|lo, hi| {
         let mut inbuf = vec![Complex64::ZERO; dim];
         for g in lo..hi {
-            let base = insert_bits(g, &sorted);
+            let base = insert_bits(g, sorted);
             for (x, off) in offsets.iter().enumerate() {
                 // SAFETY: distinct groups touch disjoint indices.
                 inbuf[x] = unsafe { cell.read((base | off) as usize) };
@@ -207,7 +263,22 @@ pub fn apply_permutation_parallel(
 }
 
 /// Parallel twin of [`crate::apply::apply_controlled_matrix`]. Bit-exact.
+/// Uses the calling thread's scratch arena.
 pub fn apply_controlled_parallel(
+    amps: &mut [Complex64],
+    controls: &[u32],
+    targets: &[u32],
+    m: &Matrix,
+    threads: usize,
+) {
+    scratch::with_thread(|s| {
+        apply_controlled_parallel_with(s, amps, controls, targets, m, threads)
+    });
+}
+
+/// [`apply_controlled_parallel`] with an explicit scratch arena.
+pub fn apply_controlled_parallel_with(
+    scratch: &mut Scratch,
     amps: &mut [Complex64],
     controls: &[u32],
     targets: &[u32],
@@ -219,20 +290,23 @@ pub fn apply_controlled_parallel(
     let groups = amps.len() >> (controls.len() + kt);
     let threads = effective_threads(threads, groups);
     if threads == 1 {
-        crate::apply::apply_controlled_matrix(amps, controls, targets, m);
+        crate::apply::apply_controlled_matrix_with(scratch, amps, controls, targets, m);
         return;
     }
     let cmask: u64 = controls.iter().fold(0, |acc, &c| acc | (1u64 << c));
-    let mut all: Vec<u32> = controls.iter().chain(targets).copied().collect();
+    let mut all = scratch.take_qubits();
+    all.extend(controls.iter().chain(targets).copied());
     all.sort_unstable();
     let dim = 1usize << kt;
-    let offsets: Vec<u64> = (0..dim as u64).map(|x| deposit_bits(x, targets)).collect();
+    let (_, tables) = scratch.split();
+    let offsets = &tables.lookup(targets).offsets;
+    let all_ref = &all;
     let cell = AmpCell::new(amps);
     run_group_ranges(groups, threads, &|lo, hi| {
         let mut inbuf = vec![Complex64::ZERO; dim];
         let mut outbuf = vec![Complex64::ZERO; dim];
         for g in lo..hi {
-            let base = insert_bits(g, &all) | cmask;
+            let base = insert_bits(g, all_ref) | cmask;
             for (x, off) in offsets.iter().enumerate() {
                 // SAFETY: distinct groups touch disjoint indices.
                 inbuf[x] = unsafe { cell.read((base | off) as usize) };
@@ -244,6 +318,7 @@ pub fn apply_controlled_parallel(
             }
         }
     });
+    scratch.put_qubits(all);
 }
 
 /// Multiplies every amplitude by `factor` using up to `threads` threads.
@@ -275,15 +350,29 @@ pub fn apply_gate_parallel(amps: &mut [Complex64], gate: &Gate, threads: usize) 
 /// cheap structure dispatch: `1×1` scalar → whole-slice scale, diagonal →
 /// diagonal pass, otherwise the dense path. Parts are tiny per-shard
 /// specializations, so full [`crate::fused::classify_kernel`] treatment
-/// would cost more than it saves.
+/// would cost more than it saves. Uses the calling thread's scratch arena.
 pub fn apply_reduced(amps: &mut [Complex64], qubits: &[u32], m: &Matrix, threads: usize) {
+    scratch::with_thread(|s| apply_reduced_with(s, amps, qubits, m, threads));
+}
+
+/// [`apply_reduced`] with an explicit scratch arena (the diagonal is
+/// extracted into a pooled buffer instead of a fresh allocation).
+pub fn apply_reduced_with(
+    scratch: &mut Scratch,
+    amps: &mut [Complex64],
+    qubits: &[u32],
+    m: &Matrix,
+    threads: usize,
+) {
     if m.rows() == 1 {
         scale_parallel(amps, m[(0, 0)], threads);
     } else if m.is_diagonal(crate::fused::KERNEL_CLASSIFY_TOL) {
-        let diag: Vec<Complex64> = (0..m.rows()).map(|i| m[(i, i)]).collect();
+        let mut diag = scratch.take_amps();
+        diag.extend((0..m.rows()).map(|i| m[(i, i)]));
         apply_diag_parallel(amps, qubits, &diag, threads);
+        scratch.put_amps(diag);
     } else {
-        apply_matrix_parallel(amps, qubits, m, threads);
+        apply_matrix_parallel_with(scratch, amps, qubits, m, threads);
     }
 }
 

@@ -16,6 +16,12 @@
 //! lock; the closure reference is type-erased to a raw pointer that is
 //! only dereferenced while the submitting `run` call blocks, which keeps
 //! the lifetime sound.
+//!
+//! Worker persistence is also what makes the per-thread
+//! [`crate::scratch`] arenas effective: each worker's arena (gather
+//! buffers, memoized offset tables) is populated during the first stage
+//! it executes and reused for every later `run` barrier of the same
+//! `with_pool` scope, so steady-state kernel execution allocates nothing.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};

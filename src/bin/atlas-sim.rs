@@ -49,6 +49,9 @@ struct Args {
     expect: Vec<String>,
     /// `--sweep N`: plan once, execute N re-parameterized points.
     sweep: usize,
+    /// `--profile`: emit the per-stage `StageTiming` breakdown as JSON
+    /// lines on stderr.
+    profile: bool,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -81,6 +84,10 @@ MODE:
                         parameters (same gate graph) — the session
                         API's plan-once/run-many path; per-point
                         execute times go to stderr
+    --profile           print each bulk-synchronous step's timing
+                        breakdown (compute/comm/swap seconds + bytes
+                        moved intra/inter node) as JSON lines on
+                        stderr; stdout is unchanged
 
 MEASUREMENTS (functional Atlas runs; computed on the sharded state):
     --top <k>           print the k most probable outcomes (default 8)
@@ -122,6 +129,7 @@ fn parse_args() -> Result<Args, String> {
         seed_set: false,
         expect: Vec::new(),
         sweep: 0,
+        profile: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -164,6 +172,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--expect" => args.expect.push(take(&mut i)?),
             "--sweep" => args.sweep = take(&mut i)?.parse().map_err(|e| format!("--sweep: {e}"))?,
+            "--profile" => args.profile = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -230,6 +239,9 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
                  --sweep needs the Atlas session API"
                 .to_string());
         }
+    }
+    if args.profile && args.plan_only {
+        return Err("--plan stops before execution; it contradicts --profile".to_string());
     }
     // Note: --seed without --shots is now rejected by the AtlasConfig
     // builder (an InvalidConfig), not by an ad-hoc flag check here.
@@ -396,6 +408,9 @@ fn main() -> ExitCode {
             Err(e) => return error_exit(&e),
         };
         print_report(&o.report);
+        if args.profile {
+            print_profile(&o.report);
+        }
         // Baselines gather a dense state; `--top` stays available.
         if let Some(state) = o.state {
             println!("top outcomes:");
@@ -442,7 +457,11 @@ fn main() -> ExitCode {
     );
 
     if dry {
-        print_report(&compiled.dry_run());
+        let report = compiled.dry_run();
+        print_report(&report);
+        if args.profile {
+            print_profile(&report);
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -465,6 +484,9 @@ fn main() -> ExitCode {
                 "point {i} : execute {:.3} s",
                 t_exec.elapsed().as_secs_f64()
             );
+            if args.profile {
+                print_profile(&run.report);
+            }
             println!("point {i} :");
             print_measurements(&run.measurements, run.samples, &args, &paulis, n);
         }
@@ -476,6 +498,9 @@ fn main() -> ExitCode {
         Err(e) => return error_exit(&e),
     };
     print_report(&run.report);
+    if args.profile {
+        print_profile(&run.report);
+    }
     print_measurements(&run.measurements, run.samples, &args, &paulis, n);
     ExitCode::SUCCESS
 }
@@ -485,6 +510,20 @@ fn print_report(report: &atlas::machine::MachineReport) {
         "model   : total {:.6} s  (compute {:.6}, comm {:.6}, swap {:.6}; {} kernels)",
         report.total_secs, report.compute_secs, report.comm_secs, report.swap_secs, report.kernels
     );
+}
+
+/// `--profile`: one JSON object per bulk-synchronous step on stderr, in
+/// execution order — compute steps alternate with all-to-all transitions.
+/// Stderr keeps stdout byte-deterministic for diffing across thread
+/// counts; JSON lines make the breakdown machine-consumable (`jq -s`).
+fn print_profile(report: &atlas::machine::MachineReport) {
+    for (i, st) in report.per_step.iter().enumerate() {
+        eprintln!(
+            "{{\"stage\":{i},\"compute_secs\":{:.9},\"comm_secs\":{:.9},\"swap_secs\":{:.9},\
+             \"bytes_intra\":{},\"bytes_inter\":{}}}",
+            st.compute, st.comm, st.swap, st.bytes_intra, st.bytes_inter
+        );
+    }
 }
 
 /// Functional-run output through the sharded measurement engine.

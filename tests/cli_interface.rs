@@ -291,3 +291,71 @@ fn top_output_comes_from_the_sharded_engine() {
     assert!(text.contains("|000000000>  p = 0.500000"), "{text}");
     assert!(text.contains("|111111111>  p = 0.500000"), "{text}");
 }
+
+#[test]
+fn profile_emits_stage_timing_json_lines_on_stderr() {
+    let args = [
+        "--family",
+        "qft",
+        "-n",
+        "8",
+        "--nodes",
+        "2",
+        "--gpus",
+        "2",
+        "-L",
+        "5",
+        "--profile",
+    ];
+    let out = atlas_sim(&args);
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+    let err = stderr(&out);
+    let lines: Vec<&str> = err
+        .lines()
+        .filter(|l| l.starts_with("{\"stage\":"))
+        .collect();
+    // Multi-stage run: at least one compute step and one all-to-all.
+    assert!(lines.len() >= 2, "expected per-stage JSON lines:\n{err}");
+    for (i, l) in lines.iter().enumerate() {
+        assert!(l.starts_with(&format!("{{\"stage\":{i},")), "{l}");
+        for key in [
+            "\"compute_secs\":",
+            "\"comm_secs\":",
+            "\"swap_secs\":",
+            "\"bytes_intra\":",
+            "\"bytes_inter\":",
+        ] {
+            assert!(l.contains(key), "missing {key} in {l}");
+        }
+        assert!(l.ends_with('}'), "{l}");
+    }
+    // A 2-node shape must report inter-node traffic in some transition.
+    assert!(
+        lines.iter().any(|l| !l.contains("\"bytes_inter\":0}")),
+        "no inter-node bytes recorded:\n{err}"
+    );
+    // stdout is byte-identical with and without --profile.
+    let quiet = atlas_sim(&args[..args.len() - 1]);
+    assert_eq!(stdout(&out), stdout(&quiet));
+    assert!(!stderr(&quiet).contains("{\"stage\":"));
+}
+
+#[test]
+fn profile_works_on_dry_runs_and_contradicts_plan() {
+    let out = atlas_sim(&[
+        "--family",
+        "su2random",
+        "-n",
+        "30",
+        "-L",
+        "27",
+        "--dry",
+        "--profile",
+    ]);
+    assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+    assert!(stderr(&out).contains("{\"stage\":0,"), "{}", stderr(&out));
+
+    let out = atlas_sim(&["--family", "qft", "-n", "8", "--plan", "--profile"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(stderr(&out).contains("--profile"), "{}", stderr(&out));
+}
