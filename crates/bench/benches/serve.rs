@@ -1,0 +1,156 @@
+//! Multi-tenant serve benchmarks + the `BENCH_serve.json` emitter.
+//!
+//! Times a synthetic many-client workload through the `atlas-serve`
+//! session pool: T tenants each submit J structurally identical QAOA
+//! jobs (shifted parameters — same fingerprint), so the pool plans once
+//! and serves J·T−1 jobs from the compiled-plan cache. The same
+//! workload is then replayed the pre-pool way (every job plans for
+//! itself) and the JSON records the amortization factor, the pooled
+//! throughput and the cache hit rate.
+//!
+//! The workload is plan-bound by construction (QAOA at n = 14 on a
+//! 2×2 split: a ~2^11-amplitude state against a multi-stage ILP), which
+//! is exactly the regime a serving deployment with repeated circuit
+//! structures lives in. Single-core CI containers record `host_cpus`
+//! so wall-clock numbers stay interpretable across hosts.
+//!
+//! `ATLAS_BENCH_QUICK=1` shrinks the tenant/job counts for the CI
+//! compile-and-run smoke; the committed `BENCH_serve.json` comes from a
+//! full run.
+
+use atlas_core::config::AtlasConfig;
+use atlas_core::session::Planner;
+use atlas_machine::{CostModel, MachineSpec};
+use atlas_serve::{JobOutcome, JobOutput, JobRequest, ServeConfig, SessionPool};
+use criterion::{criterion_group, Criterion};
+use std::time::Instant;
+
+const N: u32 = 14;
+
+fn quick() -> bool {
+    std::env::var("ATLAS_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+fn spec_for(n: u32) -> MachineSpec {
+    MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: n - 3,
+    }
+}
+
+fn serve_cfg() -> AtlasConfig {
+    AtlasConfig {
+        threads: 1,
+        ..AtlasConfig::default()
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(3)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(200));
+    let base = atlas_circuit::generators::qaoa(N);
+    let pool = SessionPool::new(
+        spec_for(N),
+        CostModel::default(),
+        serve_cfg(),
+        ServeConfig::default(),
+    )
+    .expect("pool");
+    // Warm the cache so the steady-state job cost is measured.
+    pool.submit("warm", base.clone(), JobRequest::Execute)
+        .unwrap()
+        .wait()
+        .unwrap();
+    g.bench_function("pooled_execute_job_n14", |b| {
+        let point = base.map_params(|_, _, p| p + 0.3);
+        b.iter(|| {
+            pool.submit("bench", point.clone(), JobRequest::Execute)
+                .unwrap()
+                .wait()
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Runs the T×J tenant workload through a pool; returns (total wall
+/// seconds, cache hits, cache misses).
+fn run_pooled(base: &atlas_circuit::Circuit, tenants: usize, jobs: usize) -> (f64, u64, u64) {
+    let pool = SessionPool::new(
+        spec_for(N),
+        CostModel::default(),
+        serve_cfg(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: tenants * jobs,
+            cache_capacity: 8,
+        },
+    )
+    .expect("pool");
+    let t = Instant::now();
+    let mut handles = Vec::new();
+    for tnt in 0..tenants {
+        for j in 0..jobs {
+            let point = base.map_params(|_, _, p| p + 0.02 * (tnt * jobs + j) as f64);
+            handles.push(
+                pool.submit(&format!("tenant-{tnt}"), point, JobRequest::Execute)
+                    .expect("queue sized for the whole workload"),
+            );
+        }
+    }
+    for h in handles {
+        match h.wait().expect("job failed") {
+            JobOutcome::Output(JobOutput::Executed { norm, .. }) => {
+                assert!((norm - 1.0).abs() < 1e-9)
+            }
+            other => panic!("expected Executed, got {other:?}"),
+        }
+    }
+    let total = t.elapsed().as_secs_f64();
+    let stats = pool.shutdown();
+    (total, stats.cache_hits, stats.cache_misses)
+}
+
+/// The same workload, pre-pool style: every job pays PARTITION.
+fn run_replanning(base: &atlas_circuit::Circuit, tenants: usize, jobs: usize) -> f64 {
+    let planner = Planner::new(spec_for(N), CostModel::default(), serve_cfg());
+    let t = Instant::now();
+    for i in 0..tenants * jobs {
+        let point = base.map_params(|_, _, p| p + 0.02 * i as f64);
+        let compiled = planner.plan(&point).expect("plan");
+        let run = compiled.execute(&point).expect("execute");
+        assert!((run.measurements.total_norm() - 1.0).abs() < 1e-9);
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn emit_json() {
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (tenants, jobs) = if quick() { (2, 2) } else { (4, 6) };
+    let base = atlas_circuit::generators::qaoa(N);
+    let total_jobs = tenants * jobs;
+
+    let (pooled_secs, hits, misses) = run_pooled(&base, tenants, jobs);
+    let replan_secs = run_replanning(&base, tenants, jobs);
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+
+    let json = format!(
+        "{{\n  \"bench\": \"multi_tenant_serve\",\n  \"host_cpus\": {host_cpus},\n  \"workers\": 1,\n  \"qubits\": {N},\n  \"shards\": {},\n  \"tenants\": {tenants},\n  \"jobs_per_tenant\": {jobs},\n  \"jobs\": {total_jobs},\n  \"pooled_total_secs\": {pooled_secs:.6},\n  \"replanning_total_secs\": {replan_secs:.6},\n  \"jobs_per_sec_pooled\": {:.3},\n  \"cache_hits\": {hits},\n  \"cache_misses\": {misses},\n  \"cache_hit_rate\": {hit_rate:.4},\n  \"amortization_speedup\": {:.3}\n}}\n",
+        spec_for(N).num_shards(N),
+        total_jobs as f64 / pooled_secs,
+        replan_secs / pooled_secs,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, &json).expect("write BENCH_serve.json");
+    println!("\nwrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_serve);
+
+fn main() {
+    benches();
+    emit_json();
+}

@@ -48,10 +48,17 @@ pub struct AtlasConfig {
     /// amplification round — so this is a runaway bound, not a typical
     /// operating point.
     pub max_stages: usize,
-    /// Node budget for the generic ILP solver per `s` attempt.
+    /// Node budget for the generic ILP solver per `s` attempt — the
+    /// **sole default budget**. Node counts are a pure function of the
+    /// model, so the chosen plan is identical on every machine.
     pub ilp_node_limit: u64,
-    /// Time budget for the generic ILP solver per `s` attempt.
-    pub ilp_time_limit: Duration,
+    /// Opt-in wall-clock budget for the generic ILP solver per `s`
+    /// attempt. `None` (the default) disables it. Setting a time limit
+    /// **breaks plan reproducibility**: the solver's incumbent at the
+    /// cutoff depends on machine speed and load, so the same circuit can
+    /// stage differently across hosts or runs — never rely on
+    /// byte-identical plans (or plan-cache determinism) with this set.
+    pub ilp_time_limit: Option<Duration>,
     /// Beam width of the staging search solver.
     pub staging_beam_width: usize,
     /// Staging algorithm.
@@ -91,7 +98,7 @@ impl Default for AtlasConfig {
             pruning_threshold: 500,
             max_stages: 512,
             ilp_node_limit: 2_000_000,
-            ilp_time_limit: Duration::from_secs(20),
+            ilp_time_limit: None,
             staging_beam_width: 64,
             staging: StagingAlgo::IlpSearch,
             kernelizer: KernelAlgo::Dp,
@@ -165,7 +172,7 @@ impl AtlasConfig {
             ));
         }
         if self.staging == StagingAlgo::GenericIlp
-            && (self.ilp_node_limit == 0 || self.ilp_time_limit.is_zero())
+            && (self.ilp_node_limit == 0 || self.ilp_time_limit.is_some_and(|t| t.is_zero()))
         {
             return Err(AtlasError::invalid_config(
                 "GenericIlp staging with a zero node/time budget can never \
@@ -250,9 +257,18 @@ impl AtlasConfigBuilder {
         self
     }
 
-    /// Sets the generic ILP solver's time budget per stage-count attempt.
+    /// Opts in to a wall-clock budget per stage-count attempt for the
+    /// generic ILP solver.
+    ///
+    /// **Breaks plan reproducibility**: the incumbent at a wall-clock
+    /// cutoff depends on machine speed and load, so the same circuit
+    /// can stage differently across hosts or runs. The deterministic
+    /// [`ilp_node_limit`](AtlasConfigBuilder::ilp_node_limit) is the
+    /// default budget; reach for this only when latency control
+    /// outweighs determinism (and never in front of a shared plan
+    /// cache).
     pub fn ilp_time_limit(mut self, limit: Duration) -> Self {
-        self.cfg.ilp_time_limit = limit;
+        self.cfg.ilp_time_limit = Some(limit);
         self
     }
 
@@ -333,6 +349,10 @@ mod tests {
         let built = AtlasConfig::builder().build().unwrap();
         let default = AtlasConfig::default();
         assert_eq!(built.inter_node_cost_factor, default.inter_node_cost_factor);
+        // The wall-clock ILP budget is opt-in: a default-on time limit
+        // would make the chosen plan depend on machine load.
+        assert_eq!(built.ilp_time_limit, None);
+        assert_eq!(default.ilp_time_limit, None);
         assert_eq!(built.pruning_threshold, default.pruning_threshold);
         assert_eq!(built.max_stages, default.max_stages);
         assert_eq!(built.staging, default.staging);
@@ -363,7 +383,7 @@ mod tests {
         assert_eq!(cfg.pruning_threshold, 100);
         assert_eq!(cfg.max_stages, 32);
         assert_eq!(cfg.ilp_node_limit, 1000);
-        assert_eq!(cfg.ilp_time_limit, Duration::from_secs(2));
+        assert_eq!(cfg.ilp_time_limit, Some(Duration::from_secs(2)));
         assert_eq!(cfg.staging_beam_width, 8);
         assert_eq!(cfg.staging, StagingAlgo::Snuqs);
         assert_eq!(cfg.kernelizer, KernelAlgo::Greedy(5));

@@ -96,6 +96,11 @@ pub struct FullPlan {
     pub staging_cost: i64,
     /// Whether staging proved stage-count minimality.
     pub staging_optimal: bool,
+    /// The generic ILP's decisive solve status when that staging
+    /// algorithm produced the plan (`Feasible` = a node/time budget cut
+    /// the optimality proof short — the plan is valid but possibly not
+    /// cost-minimal). `None` under the search and SnuQS solvers.
+    pub solve_status: Option<atlas_ilp::SolveStatus>,
     /// Σ kernel cost over stages.
     pub kernel_cost: f64,
     /// L and G used.
@@ -260,8 +265,11 @@ pub fn plan(
         stages,
         cost: staging_cost,
         optimal,
+        solve_status,
     } = staging::stage_circuit(circuit, l, g, cfg)?;
-    plan_from_stages(circuit, stages, staging_cost, optimal, l, g, cost, cfg)
+    let mut plan = plan_from_stages(circuit, stages, staging_cost, optimal, l, g, cost, cfg)?;
+    plan.solve_status = solve_status;
+    Ok(plan)
 }
 
 /// PARTITION from a pre-computed staging (used to plan with baseline
@@ -293,6 +301,9 @@ pub fn plan_from_stages(
         stages: plans,
         staging_cost,
         staging_optimal,
+        // Pre-computed stagings carry no solver status; `plan` overwrites
+        // this for the GenericIlp path.
+        solve_status: None,
         kernel_cost,
         l,
         g,

@@ -59,7 +59,13 @@ use atlas_statevec::StateVector;
 /// (`RX(θ)` → `RX(π)` is anti-diagonal) changes the fingerprint, which
 /// is exactly right because the plan's specialization templates would
 /// no longer apply.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Implements `Hash`, so it can key a shared plan cache directly (the
+/// `atlas-serve` session pool does). Every hashed token is
+/// domain-tagged — see [`CircuitFingerprint::of`]'s `fp_domain`
+/// constants — so distinct value classes (qubit indices, insularity
+/// kinds, mnemonic bytes, the gate separator) can never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CircuitFingerprint {
     hash: u64,
     num_qubits: u32,
@@ -78,33 +84,76 @@ fn fnv_mix(h: u64, v: u64) -> u64 {
     h
 }
 
+/// Domain tags for the fingerprint's token classes. Every value is
+/// mixed as `(domain << 48) | value`, so tokens from different classes
+/// can **never** be equal (values are `< 2^48` by construction: qubit
+/// indices are `u32`, name bytes are `u8`).
+///
+/// The pre-fix scheme used overlapping ad-hoc offsets — qubits mixed as
+/// `0x100 + q`, which collided with the insularity tags `0x201–0x203`
+/// at `q = 257..=259` and the gate separator `0x300` at `q = 512`. That
+/// aliasing is latent territory today (gate-kind mnemonics happen to
+/// delimit every gate and fix its arity), but becomes a plan-cache
+/// poisoning vector the moment circuits reach hundreds of qubits or a
+/// gate class without that grammar invariant appears. Explicit domains
+/// make class disjointness structural instead of coincidental.
+mod fp_domain {
+    /// Circuit width (`num_qubits`), mixed once up front.
+    pub const NUM_QUBITS: u64 = 1;
+    /// One token per byte of the gate-kind mnemonic.
+    pub const NAME_BYTE: u64 = 2;
+    /// One token per qubit index, in gate-position order.
+    pub const QUBIT: u64 = 3;
+    /// One token per per-position insularity kind.
+    pub const INSULARITY: u64 = 4;
+    /// Gate separator, mixed once per gate.
+    pub const SEPARATOR: u64 = 5;
+}
+
+/// Builds a domain-separated fingerprint token: `(domain << 48) | value`.
+#[inline]
+fn fp_token(domain: u64, value: u64) -> u64 {
+    debug_assert!(value < 1 << 48, "token value must leave the tag bits free");
+    (domain << 48) | value
+}
+
+/// Numeric encoding of an insularity kind inside the
+/// [`fp_domain::INSULARITY`] domain.
+#[inline]
+fn fp_insularity_value(kind: insular::InsularKind) -> u64 {
+    match kind {
+        insular::InsularKind::Diagonal => 0,
+        insular::InsularKind::AntiDiagonal => 1,
+        insular::InsularKind::NonInsular => 2,
+    }
+}
+
 impl CircuitFingerprint {
     /// Fingerprints a circuit.
     pub fn of(circuit: &Circuit) -> Self {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
-        h = fnv_mix(h, circuit.num_qubits() as u64);
+        h = fnv_mix(
+            h,
+            fp_token(fp_domain::NUM_QUBITS, circuit.num_qubits() as u64),
+        );
         for gate in circuit.gates() {
             // (c) cost-model class: the gate-kind mnemonic.
             for b in gate.kind.name().bytes() {
-                h = fnv_mix(h, b as u64);
+                h = fnv_mix(h, fp_token(fp_domain::NAME_BYTE, b as u64));
             }
             // (a) qubit indices, in gate-position order.
             for q in gate.qubits.iter() {
-                h = fnv_mix(h, 0x100 + q as u64);
+                h = fnv_mix(h, fp_token(fp_domain::QUBIT, q as u64));
             }
             // (b) insularity signature per qubit position (numeric, so
             // parameter special cases like RX(π) are captured).
             for kind in insular::gate_insularity(gate) {
                 h = fnv_mix(
                     h,
-                    match kind {
-                        insular::InsularKind::Diagonal => 0x201,
-                        insular::InsularKind::AntiDiagonal => 0x202,
-                        insular::InsularKind::NonInsular => 0x203,
-                    },
+                    fp_token(fp_domain::INSULARITY, fp_insularity_value(kind)),
                 );
             }
-            h = fnv_mix(h, 0x300); // gate separator
+            h = fnv_mix(h, fp_token(fp_domain::SEPARATOR, 0));
         }
         CircuitFingerprint {
             hash: h,
@@ -343,6 +392,68 @@ mod tests {
             nodes: 2,
             gpus_per_node: 2,
             local_qubits: 5,
+        }
+    }
+
+    /// Regression test for the fingerprint domain-aliasing bug: under
+    /// the pre-fix mixing, qubit `q` was tokenized as `0x100 + q`, so
+    /// the qubit tokens at `q = 257..=259` were *equal* to the
+    /// insularity tags (`0x201`–`0x203`) and at `q = 512` to the gate
+    /// separator (`0x300`). Today's 63-qubit circuit cap keeps those
+    /// indices out of reach, but a fingerprint keying a shared plan
+    /// cache must not rely on that: the moment a wider backend lands
+    /// (ROADMAP item 4 targets thousands of stabilizer qubits), the
+    /// aliasing becomes a cache-poisoning vector. This test calls the
+    /// *production* token constructors and fails against the old
+    /// values: `0x100 + 257 == 0x201` etc.
+    #[test]
+    fn fingerprint_tokens_are_domain_separated() {
+        use super::{fp_domain, fp_insularity_value, fp_token};
+        use atlas_circuit::insular::InsularKind;
+        // The exact collisions of the old scheme, as documentation:
+        assert_eq!(0x100u64 + 257, 0x201); // qubit 257 == Diagonal tag
+        assert_eq!(0x100u64 + 258, 0x202); // qubit 258 == AntiDiagonal tag
+        assert_eq!(0x100u64 + 259, 0x203); // qubit 259 == NonInsular tag
+        assert_eq!(0x100u64 + 512, 0x300); // qubit 512 == gate separator
+
+        // The fixed scheme: no qubit token may equal any token of any
+        // other class, for any representable qubit index — in
+        // particular the four indices above.
+        let ins_tokens: Vec<u64> = [
+            InsularKind::Diagonal,
+            InsularKind::AntiDiagonal,
+            InsularKind::NonInsular,
+        ]
+        .into_iter()
+        .map(|k| fp_token(fp_domain::INSULARITY, fp_insularity_value(k)))
+        .collect();
+        let separator = fp_token(fp_domain::SEPARATOR, 0);
+        for q in [0u64, 1, 62, 256, 257, 258, 259, 511, 512, u32::MAX as u64] {
+            let qt = fp_token(fp_domain::QUBIT, q);
+            for &it in &ins_tokens {
+                assert_ne!(qt, it, "qubit {q} token aliases an insularity tag");
+            }
+            assert_ne!(qt, separator, "qubit {q} token aliases the separator");
+            for b in 0u64..=255 {
+                assert_ne!(qt, fp_token(fp_domain::NAME_BYTE, b));
+            }
+            assert_ne!(qt, fp_token(fp_domain::NUM_QUBITS, q));
+        }
+        // Cross-class disjointness holds for every pair, not just
+        // qubits: same value under different domains, different tokens.
+        let domains = [
+            fp_domain::NUM_QUBITS,
+            fp_domain::NAME_BYTE,
+            fp_domain::QUBIT,
+            fp_domain::INSULARITY,
+            fp_domain::SEPARATOR,
+        ];
+        for (i, &a) in domains.iter().enumerate() {
+            for &b in &domains[i + 1..] {
+                for v in [0u64, 3, 257, 512, (1 << 32) - 1] {
+                    assert_ne!(fp_token(a, v), fp_token(b, v));
+                }
+            }
         }
     }
 

@@ -56,6 +56,12 @@ pub struct StagingOutcome {
     pub cost: i64,
     /// Whether the stage count is provably minimal.
     pub optimal: bool,
+    /// The generic ILP solver's decisive [`SolveStatus`] (`Optimal`, or
+    /// `Feasible` when a budget cut the optimality proof short), so a
+    /// budget-hit plan is visible instead of silent. `None` for the
+    /// search and SnuQS solvers, which report through
+    /// [`optimal`](StagingOutcome::optimal) alone.
+    pub solve_status: Option<SolveStatus>,
 }
 
 impl StagingOutcome {
@@ -152,8 +158,8 @@ pub fn stage_circuit(
     let p = StagingProblem::build(circuit, l, g, cfg.inter_node_cost_factor);
     match cfg.staging {
         StagingAlgo::GenericIlp => {
-            let (raw, optimal) = stage_generic_ilp(&p, cfg)?;
-            finish(circuit, &p, raw, optimal, l, g)
+            let (raw, optimal, status) = stage_generic_ilp(&p, cfg)?;
+            finish(circuit, &p, raw, optimal, Some(status), l, g)
         }
         StagingAlgo::IlpSearch => {
             let raw = search::solve_search(&p, cfg.staging_beam_width, cfg.max_stages).ok_or_else(
@@ -163,11 +169,11 @@ pub fn stage_circuit(
                 },
             )?;
             let optimal = raw.partitions.len() == 1;
-            finish(circuit, &p, raw, optimal, l, g)
+            finish(circuit, &p, raw, optimal, None, l, g)
         }
         StagingAlgo::Snuqs => {
             let raw = snuqs::solve_snuqs(&p);
-            finish(circuit, &p, raw, false, l, g)
+            finish(circuit, &p, raw, false, None, l, g)
         }
     }
 }
@@ -183,7 +189,7 @@ pub fn stage_circuit_snuqs(
     STAGING_INVOCATIONS.fetch_add(1, Ordering::Relaxed);
     let p = StagingProblem::build(circuit, l, g, cfg.inter_node_cost_factor);
     let raw = snuqs::solve_snuqs(&p);
-    finish(circuit, &p, raw, false, l, g)
+    finish(circuit, &p, raw, false, None, l, g)
 }
 
 fn finish(
@@ -191,6 +197,7 @@ fn finish(
     p: &StagingProblem,
     raw: RawStaging,
     optimal: bool,
+    solve_status: Option<SolveStatus>,
     l: u32,
     g: u32,
 ) -> Result<StagingOutcome, AtlasError> {
@@ -200,14 +207,17 @@ fn finish(
         stages,
         cost: raw.cost,
         optimal,
+        solve_status,
     })
 }
 
 /// Algorithm 2 with the generic ILP: try `s = 1, 2, …` until feasible.
+/// Returns the raw staging, whether the stage-count minimality proof is
+/// intact, and the decisive solver status at the accepted `s`.
 fn stage_generic_ilp(
     p: &StagingProblem,
     cfg: &AtlasConfig,
-) -> Result<(RawStaging, bool), AtlasError> {
+) -> Result<(RawStaging, bool, SolveStatus), AtlasError> {
     let solver_cfg = SolverConfig {
         node_limit: cfg.ilp_node_limit,
         time_limit: cfg.ilp_time_limit,
@@ -216,8 +226,20 @@ fn stage_generic_ilp(
     for s in 1..=cfg.max_stages {
         let (status, raw) = ilp_model::solve_ilp(p, s, &solver_cfg);
         match status {
-            SolveStatus::Optimal => return Ok((raw.expect("optimal without plan"), proof_intact)),
-            SolveStatus::Feasible => return Ok((raw.expect("feasible without plan"), false)),
+            SolveStatus::Optimal => {
+                return Ok((
+                    raw.expect("optimal without plan"),
+                    proof_intact,
+                    SolveStatus::Optimal,
+                ))
+            }
+            SolveStatus::Feasible => {
+                return Ok((
+                    raw.expect("feasible without plan"),
+                    false,
+                    SolveStatus::Feasible,
+                ))
+            }
             SolveStatus::Infeasible => continue,
             SolveStatus::Unknown => {
                 // Can't prove infeasibility at this s: minimality proof lost.
@@ -258,6 +280,8 @@ mod tests {
         assert_eq!(out.num_stages(), 1);
         assert_eq!(out.cost, 0);
         assert!(out.optimal);
+        // The search solver reports through `optimal` alone.
+        assert_eq!(out.solve_status, None);
     }
 
     #[test]
@@ -369,6 +393,7 @@ mod tests {
         let out = stage_circuit(&c, 2, 1, &icfg).unwrap();
         assert_eq!(out.num_stages(), 2);
         assert!(out.optimal);
+        assert_eq!(out.solve_status, Some(SolveStatus::Optimal));
         // Transition: both locals change (cost 2). With G=1 the global is
         // forced to move too — stage 1's global must be a former local —
         // adding c=3. Total 5.

@@ -46,13 +46,13 @@ pub enum AtlasError {
         /// What went wrong.
         reason: String,
     },
-    /// The generic ILP solver exhausted its node/time budget before
-    /// proving feasibility or infeasibility at every admissible stage
-    /// count — raising [`ilp_node_limit`] / [`ilp_time_limit`] (or
-    /// switching to `IlpSearch`) may succeed.
+    /// The generic ILP solver exhausted its budget (the deterministic
+    /// node limit, or the opt-in wall-clock limit) before proving
+    /// feasibility or infeasibility at every admissible stage count —
+    /// raising [`ilp_node_limit`] (or switching to `IlpSearch`) may
+    /// succeed.
     ///
     /// [`ilp_node_limit`]: https://docs.rs/atlas-core
-    /// [`ilp_time_limit`]: https://docs.rs/atlas-core
     IlpBudgetExceeded {
         /// Highest stage count attempted before giving up.
         max_stages: usize,
@@ -89,6 +89,16 @@ pub enum AtlasError {
         /// Why the circuit cannot run under the plan.
         reason: String,
     },
+    /// A serve-mode session pool rejected a submission because its
+    /// bounded job queue is full — typed backpressure instead of
+    /// unbounded queueing. Retry after in-flight jobs drain, or raise
+    /// the pool's queue capacity.
+    Overloaded {
+        /// Jobs queued at the moment of rejection.
+        queued: usize,
+        /// The pool's queue capacity.
+        capacity: usize,
+    },
 }
 
 impl AtlasError {
@@ -118,6 +128,7 @@ impl AtlasError {
             AtlasError::InvalidConfig { .. } => "invalid-config",
             AtlasError::ParseError { .. } => "parse-error",
             AtlasError::PlanMismatch { .. } => "plan-mismatch",
+            AtlasError::Overloaded { .. } => "overloaded",
         }
     }
 }
@@ -138,9 +149,9 @@ impl fmt::Display for AtlasError {
             }
             AtlasError::IlpBudgetExceeded { max_stages } => write!(
                 f,
-                "generic ILP exhausted its node/time budget without a proof \
-                 through {max_stages} stage(s); raise ilp_node_limit / \
-                 ilp_time_limit or use IlpSearch"
+                "generic ILP exhausted its budget without a proof \
+                 through {max_stages} stage(s); raise ilp_node_limit \
+                 or use IlpSearch"
             ),
             AtlasError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
             AtlasError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
@@ -153,6 +164,12 @@ impl fmt::Display for AtlasError {
                 None => write!(f, "cannot parse {what}: {message}"),
             },
             AtlasError::PlanMismatch { reason } => write!(f, "plan mismatch: {reason}"),
+            AtlasError::Overloaded { queued, capacity } => write!(
+                f,
+                "session pool overloaded: {queued} job(s) queued at capacity \
+                 {capacity}; retry after in-flight jobs drain or raise the \
+                 queue capacity"
+            ),
         }
     }
 }
@@ -219,6 +236,10 @@ mod tests {
             },
             AtlasError::PlanMismatch {
                 reason: String::new(),
+            },
+            AtlasError::Overloaded {
+                queued: 0,
+                capacity: 0,
             },
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

@@ -7,17 +7,23 @@ use std::time::{Duration, Instant};
 /// Search budget and reporting knobs.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
-    /// Maximum number of branch nodes explored before giving up.
+    /// Maximum number of branch nodes explored before giving up. The
+    /// sole default budget: node counts are a pure function of the
+    /// model, so two runs on any two machines stop at the same node and
+    /// return the same incumbent.
     pub node_limit: u64,
-    /// Wall-clock budget.
-    pub time_limit: Duration,
+    /// Opt-in wall-clock budget. `None` (the default) disables it:
+    /// a wall-clock cutoff makes the returned incumbent depend on
+    /// machine speed and load, so enabling it trades reproducibility
+    /// for latency control.
+    pub time_limit: Option<Duration>,
 }
 
 impl Default for SolverConfig {
     fn default() -> Self {
         SolverConfig {
             node_limit: 20_000_000,
-            time_limit: Duration::from_secs(60),
+            time_limit: None,
         }
     }
 }
@@ -296,7 +302,8 @@ pub fn solve(model: &Model, config: &SolverConfig) -> Solution {
             } else {
                 s.nodes += 1;
                 if s.nodes >= config.node_limit
-                    || (s.nodes.is_multiple_of(1024) && start.elapsed() >= config.time_limit)
+                    || (s.nodes.is_multiple_of(1024)
+                        && config.time_limit.is_some_and(|t| start.elapsed() >= t))
                 {
                     budget_hit = true;
                     break 'search;
@@ -602,6 +609,15 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn default_budget_is_node_only() {
+        // The node limit is deterministic (a pure function of the model);
+        // a wall-clock limit makes the incumbent depend on machine load,
+        // so it must never be on by default.
+        assert!(SolverConfig::default().time_limit.is_none());
+        assert_eq!(SolverConfig::default().node_limit, 20_000_000);
     }
 
     #[test]

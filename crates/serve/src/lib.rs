@@ -1,0 +1,61 @@
+//! `atlas-serve` — a multi-tenant session pool over the Atlas session
+//! API.
+//!
+//! The Atlas pipeline splits into an expensive PARTITION (staging ILP +
+//! kernelization DP) and a cheap, repeatable EXECUTE; the session API
+//! (`Planner` → `CompiledPlan` → `Execution`) exposes that split to one
+//! caller. This crate exposes it to *many*: a [`SessionPool`] runs a
+//! stream of jobs from independent tenants over a shared, bounded LRU
+//! cache of [`CompiledPlan`]s keyed by the structural
+//! [`CircuitFingerprint`](atlas_core::session::CircuitFingerprint), so
+//! structurally identical circuits — parameter sweeps, re-submissions,
+//! the same ansatz from different users — pay for PARTITION once.
+//!
+//! The pool is deliberately deterministic where it matters: job
+//! *outputs* carry only model-level results (simulated seconds, counts,
+//! expectations), never wall-clock readings or cache-hit flags, so the
+//! response stream for a given job stream is byte-identical across
+//! runs, worker counts and cache states. Scheduling (round-robin across
+//! tenants), backpressure ([`AtlasError::Overloaded`] on a full queue)
+//! and cancellation ([`CancelToken`]) are the operational surface; the
+//! [`PoolStats`] counters are the only place wall-clock-adjacent
+//! behavior (hit rates, high-water marks) is visible.
+//!
+//! The NDJSON wire format of `atlas-sim serve` lives in [`protocol`];
+//! the serde-free JSON support it needs lives in [`json`].
+//!
+//! ```
+//! use atlas_serve::{JobOutcome, JobOutput, JobRequest, ServeConfig, SessionPool};
+//! use atlas_core::config::AtlasConfig;
+//! use atlas_machine::{CostModel, MachineSpec};
+//!
+//! let spec = MachineSpec { nodes: 2, gpus_per_node: 2, local_qubits: 5 };
+//! let cfg = AtlasConfig { threads: 1, ..AtlasConfig::default() };
+//! let pool = SessionPool::new(spec, CostModel::default(), cfg, ServeConfig::default()).unwrap();
+//! let circuit = atlas_circuit::generators::ghz(8);
+//! let handle = pool
+//!     .submit("tenant-a", circuit, JobRequest::Sample { shots: 16, seed: 3 })
+//!     .unwrap();
+//! match handle.wait().unwrap() {
+//!     JobOutcome::Output(JobOutput::Sampled { counts }) => {
+//!         assert_eq!(counts.iter().map(|&(_, c)| c).sum::<u64>(), 16);
+//!     }
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! let stats = pool.shutdown();
+//! assert_eq!(stats.cache_misses, 1);
+//! ```
+//!
+//! [`AtlasError::Overloaded`]: atlas_error::AtlasError::Overloaded
+//! [`CompiledPlan`]: atlas_core::session::CompiledPlan
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod pool;
+pub mod protocol;
+
+pub use pool::{
+    CancelToken, JobHandle, JobOutcome, JobOutput, JobRequest, PoolStats, ServeConfig, SessionPool,
+};
+pub use protocol::{parse_job, render_response, JobSpec};

@@ -1,0 +1,701 @@
+//! The multi-tenant session pool: a bounded job queue, a worker team,
+//! and a shared LRU cache of [`CompiledPlan`]s keyed by
+//! [`CircuitFingerprint`].
+//!
+//! ## Design
+//!
+//! Atlas splits simulation into an expensive PARTITION (staging ILP +
+//! kernelization DP) and a cheap, repeatable EXECUTE. A serving
+//! deployment sees many clients sending structurally identical circuits
+//! (parameter sweeps, VQE iterations, the same ansatz from different
+//! users), so the pool amortizes PARTITION across *tenants*: the first
+//! job with a given structural fingerprint plans, everyone else reuses
+//! the cached [`CompiledPlan`].
+//!
+//! * **Plan-exactly-once** — the cache miss path plans *while holding
+//!   the cache lock*, so two concurrent jobs with the same fingerprint
+//!   can never both invoke PARTITION. Planning is thereby serialized;
+//!   EXECUTE (the hot path) runs outside every lock.
+//! * **Fairness** — tenants are scheduled round-robin: the dispatcher
+//!   cycles through tenants with queued work and takes one job per
+//!   visit, so a tenant that floods the queue cannot starve the others
+//!   (a tenant's own jobs still run in submission order).
+//! * **Backpressure** — the queue is bounded. [`SessionPool::submit`]
+//!   fast-fails with [`AtlasError::Overloaded`] when full;
+//!   [`SessionPool::submit_blocking`] waits for space instead.
+//! * **Cancellation** — every job carries a [`CancelToken`]. Tokens are
+//!   honored at dequeue and again between plan lookup and EXECUTE; a
+//!   job already executing runs to completion (EXECUTE is not
+//!   interruptible mid-kernel by design — shards would be left torn).
+//!
+//! Everything a job *returns* is deterministic: outputs carry model
+//! time (simulated seconds), counts and amplitudes — never wall-clock
+//! readings or cache-hit flags, so a response stream is byte-identical
+//! across runs, worker counts and cache states. Wall-clock and cache
+//! behavior are observable only in the aggregate [`PoolStats`].
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use atlas_circuit::Circuit;
+use atlas_core::config::AtlasConfig;
+use atlas_core::session::{CircuitFingerprint, CompiledPlan, Planner};
+use atlas_error::AtlasError;
+use atlas_ilp::SolveStatus;
+use atlas_machine::{CostModel, MachineSpec};
+use atlas_sampler::PauliString;
+use atlas_statevec::{scratch, StateVector};
+
+/// Pool shape: worker count, queue bound and plan-cache bound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs. Each worker runs one job at a
+    /// time; EXECUTE-level parallelism inside a job is governed by
+    /// [`AtlasConfig::threads`] as usual.
+    pub workers: usize,
+    /// Maximum number of *queued* (not yet dispatched) jobs before
+    /// [`SessionPool::submit`] rejects with [`AtlasError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Maximum number of cached [`CompiledPlan`]s; the least recently
+    /// used entry is evicted on overflow.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 32,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn validate(&self) -> Result<(), AtlasError> {
+        for (name, v) in [
+            ("workers", self.workers),
+            ("queue_capacity", self.queue_capacity),
+            ("cache_capacity", self.cache_capacity),
+        ] {
+            if v == 0 {
+                return Err(AtlasError::InvalidConfig {
+                    reason: format!("ServeConfig::{name} must be at least 1"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What a job asks the pool to do with its circuit.
+#[derive(Clone, Debug)]
+pub enum JobRequest {
+    /// PARTITION only: plan (or hit the cache) and report plan shape.
+    Plan,
+    /// Full EXECUTE; reports the model clock and the top outcomes, and
+    /// gathers the state when the pool's [`AtlasConfig::final_unpermute`]
+    /// is set.
+    Execute,
+    /// EXECUTE, then draw seeded measurement shots.
+    Sample {
+        /// Number of shots.
+        shots: usize,
+        /// RNG seed (fixed seed ⇒ byte-identical samples).
+        seed: u64,
+    },
+    /// EXECUTE, then compute one Pauli-string expectation value.
+    Expect {
+        /// The observable.
+        pauli: PauliString,
+    },
+}
+
+/// The deterministic result payload of a finished job.
+#[derive(Clone, Debug)]
+pub enum JobOutput {
+    /// Result of [`JobRequest::Plan`].
+    Planned {
+        /// Number of stages.
+        stages: usize,
+        /// Staging objective value (inter-node transition cost).
+        staging_cost: i64,
+        /// Whether staging is provably optimal.
+        optimal: bool,
+        /// The generic ILP's solver verdict (`None` for the other
+        /// staging algorithms) — surfaces budget-limited plans.
+        solve_status: Option<SolveStatus>,
+    },
+    /// Result of [`JobRequest::Execute`].
+    Executed {
+        /// Simulated end-to-end seconds (model clock, deterministic).
+        model_secs: f64,
+        /// Kernels launched.
+        kernels: u64,
+        /// Total state norm (≈ 1.0; a correctness canary).
+        norm: f64,
+        /// The 4 most probable outcomes, `(bits, probability)`.
+        top: Vec<(u64, f64)>,
+        /// Gathered final state, only when the pool's config set
+        /// [`AtlasConfig::final_unpermute`].
+        state: Option<StateVector>,
+    },
+    /// Result of [`JobRequest::Sample`]: `(bits, count)` sorted by
+    /// descending count, then ascending bits.
+    Sampled {
+        /// Outcome counts.
+        counts: Vec<(u64, u64)>,
+    },
+    /// Result of [`JobRequest::Expect`].
+    Expectation {
+        /// ⟨ψ|P|ψ⟩ (real by construction).
+        value: f64,
+    },
+}
+
+/// Terminal state of a job: produced a result, or was cancelled first.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job ran and produced its output.
+    Output(JobOutput),
+    /// The job's [`CancelToken`] fired before EXECUTE started.
+    Cancelled,
+}
+
+/// Cooperative cancellation flag, cloneable and thread-safe.
+///
+/// Honored at the two points where abandoning the job is sound: when
+/// the job is dequeued and again after plan lookup, before EXECUTE.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A submitted job: its id, its cancel token, and the receiving end of
+/// its one-shot result channel.
+#[derive(Debug)]
+pub struct JobHandle {
+    id: u64,
+    cancel: CancelToken,
+    rx: mpsc::Receiver<Result<JobOutcome, AtlasError>>,
+}
+
+impl JobHandle {
+    /// Pool-assigned job id (also the key of the dequeue log).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// This job's cancellation token.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Requests cancellation of this job.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Blocks until the job reaches a terminal state. A pool torn down
+    /// before answering reads as [`JobOutcome::Cancelled`].
+    pub fn wait(self) -> Result<JobOutcome, AtlasError> {
+        self.rx.recv().unwrap_or(Ok(JobOutcome::Cancelled))
+    }
+}
+
+/// Monotonic aggregate counters of a pool (all since construction).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: u64,
+    /// Jobs that ran to a successful output.
+    pub jobs_completed: u64,
+    /// Jobs that terminated with a typed error.
+    pub jobs_failed: u64,
+    /// Jobs cancelled before EXECUTE.
+    pub jobs_cancelled: u64,
+    /// Submissions rejected with [`AtlasError::Overloaded`].
+    pub jobs_rejected: u64,
+    /// Plan-cache hits (PARTITION skipped).
+    pub cache_hits: u64,
+    /// Plan-cache misses (PARTITION ran).
+    pub cache_misses: u64,
+    /// Plans evicted by the LRU policy.
+    pub cache_evictions: u64,
+    /// Plans currently cached.
+    pub cache_entries: usize,
+    /// High-water mark of the queue depth.
+    pub max_queued: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Offset-table memo hits inside the workers' scratch arenas
+    /// (see `atlas_statevec::Scratch`); covers the worker threads
+    /// themselves, i.e. everything when [`AtlasConfig::threads`] is 1.
+    pub scratch_table_hits: u64,
+    /// Offset-table memo misses (tables built).
+    pub scratch_table_misses: u64,
+    /// Offset-table memo LRU evictions.
+    pub scratch_table_evictions: u64,
+}
+
+impl PoolStats {
+    /// Plan-cache hit rate in `[0, 1]` (0 when nothing was looked up).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One queued job.
+struct QueuedJob {
+    id: u64,
+    circuit: Circuit,
+    request: JobRequest,
+    cancel: CancelToken,
+    tx: mpsc::Sender<Result<JobOutcome, AtlasError>>,
+}
+
+/// Scheduler state under the queue mutex: per-tenant FIFOs plus the
+/// round-robin ring. Invariant: a tenant key is in `ring` if and only
+/// if its FIFO is non-empty.
+#[derive(Default)]
+struct SchedState {
+    tenants: HashMap<String, VecDeque<QueuedJob>>,
+    ring: VecDeque<String>,
+    queued: usize,
+    in_flight: usize,
+    paused: bool,
+    shutdown: bool,
+    max_queued: usize,
+    dequeue_log: Vec<u64>,
+}
+
+impl SchedState {
+    /// Round-robin dispatch: next tenant in the ring gives up exactly
+    /// one job.
+    fn dequeue(&mut self) -> Option<QueuedJob> {
+        let tenant = self.ring.pop_front()?;
+        let fifo = self
+            .tenants
+            .get_mut(&tenant)
+            .expect("ring invariant: tenant has a FIFO");
+        let job = fifo.pop_front().expect("ring invariant: FIFO non-empty");
+        if fifo.is_empty() {
+            self.tenants.remove(&tenant);
+        } else {
+            self.ring.push_back(tenant);
+        }
+        self.queued -= 1;
+        self.in_flight += 1;
+        self.dequeue_log.push(job.id);
+        Some(job)
+    }
+}
+
+/// The LRU plan cache. Misses plan under this lock — that is the
+/// plan-exactly-once guarantee, and it intentionally serializes
+/// PARTITION (EXECUTE never holds it).
+struct PlanCache {
+    map: HashMap<CircuitFingerprint, (u64, Arc<CompiledPlan>)>,
+    tick: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    planner: Planner,
+    queue_capacity: usize,
+    sched: Mutex<SchedState>,
+    /// Wakes workers when work arrives (or on pause/shutdown edges).
+    job_ready: Condvar,
+    /// Wakes blocked submitters when queue space frees up.
+    space_ready: Condvar,
+    /// Wakes `wait_idle` when the pool drains.
+    idle: Condvar,
+    cache: Mutex<PlanCache>,
+    next_id: AtomicU64,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_rejected: AtomicU64,
+    /// Per-worker `(scratch hits, misses, evictions)` snapshots: each
+    /// worker owns one slot and republishes its thread-local scratch
+    /// totals after every job.
+    scratch_totals: Vec<[AtomicU64; 3]>,
+}
+
+/// A running multi-tenant session pool. See the module docs for the
+/// scheduling, caching and backpressure contract.
+pub struct SessionPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SessionPool {
+    /// Spawns the worker team for one machine shape + cost model +
+    /// simulation config + pool shape.
+    ///
+    /// `cfg` is validated up front (same rules as [`Planner::plan`]);
+    /// `serve.workers/queue_capacity/cache_capacity` must all be ≥ 1.
+    pub fn new(
+        spec: MachineSpec,
+        cost: CostModel,
+        cfg: AtlasConfig,
+        serve: ServeConfig,
+    ) -> Result<Self, AtlasError> {
+        cfg.validate()?;
+        serve.validate()?;
+        let shared = Arc::new(Shared {
+            planner: Planner::new(spec, cost, cfg),
+            queue_capacity: serve.queue_capacity,
+            sched: Mutex::new(SchedState::default()),
+            job_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            idle: Condvar::new(),
+            cache: Mutex::new(PlanCache {
+                map: HashMap::new(),
+                tick: 0,
+                capacity: serve.cache_capacity,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            next_id: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_cancelled: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            scratch_totals: (0..serve.workers)
+                .map(|_| [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)])
+                .collect(),
+        });
+        let workers = (0..serve.workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("atlas-serve-{slot}"))
+                    .spawn(move || worker_loop(&shared, slot))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Ok(SessionPool { shared, workers })
+    }
+
+    /// The simulation config jobs run under.
+    pub fn config(&self) -> &AtlasConfig {
+        self.shared.planner.config()
+    }
+
+    /// Submits a job for `tenant`, fast-failing with
+    /// [`AtlasError::Overloaded`] when the queue is full.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        circuit: Circuit,
+        request: JobRequest,
+    ) -> Result<JobHandle, AtlasError> {
+        self.submit_inner(tenant, circuit, request, false)
+    }
+
+    /// Submits a job for `tenant`, blocking until queue space is
+    /// available instead of rejecting.
+    pub fn submit_blocking(
+        &self,
+        tenant: &str,
+        circuit: Circuit,
+        request: JobRequest,
+    ) -> Result<JobHandle, AtlasError> {
+        self.submit_inner(tenant, circuit, request, true)
+    }
+
+    fn submit_inner(
+        &self,
+        tenant: &str,
+        circuit: Circuit,
+        request: JobRequest,
+        block: bool,
+    ) -> Result<JobHandle, AtlasError> {
+        let shared = &self.shared;
+        let mut sched = shared.sched.lock().unwrap();
+        while sched.queued >= shared.queue_capacity {
+            if !block {
+                shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(AtlasError::Overloaded {
+                    queued: sched.queued,
+                    capacity: shared.queue_capacity,
+                });
+            }
+            sched = shared.space_ready.wait(sched).unwrap();
+        }
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel = CancelToken::new();
+        let (tx, rx) = mpsc::channel();
+        let job = QueuedJob {
+            id,
+            circuit,
+            request,
+            cancel: cancel.clone(),
+            tx,
+        };
+        match sched.tenants.entry(tenant.to_string()) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push_back(job),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(VecDeque::from([job]));
+                sched.ring.push_back(tenant.to_string());
+            }
+        }
+        sched.queued += 1;
+        sched.max_queued = sched.max_queued.max(sched.queued);
+        shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        drop(sched);
+        shared.job_ready.notify_one();
+        Ok(JobHandle { id, cancel, rx })
+    }
+
+    /// Stops dispatching (queued jobs stay queued; in-flight jobs
+    /// finish). For tests that need to line up a queue deterministically.
+    pub fn pause(&self) {
+        self.shared.sched.lock().unwrap().paused = true;
+    }
+
+    /// Resumes dispatching after [`SessionPool::pause`].
+    pub fn resume(&self) {
+        self.shared.sched.lock().unwrap().paused = false;
+        self.shared.job_ready.notify_all();
+    }
+
+    /// Blocks until no job is queued or in flight.
+    pub fn wait_idle(&self) {
+        let mut sched = self.shared.sched.lock().unwrap();
+        while sched.queued > 0 || sched.in_flight > 0 {
+            sched = self.shared.idle.wait(sched).unwrap();
+        }
+    }
+
+    /// The job ids in dispatch order — the observable fairness record
+    /// (tests assert round-robin interleaving on it).
+    pub fn dequeue_log(&self) -> Vec<u64> {
+        self.shared.sched.lock().unwrap().dequeue_log.clone()
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> PoolStats {
+        let shared = &self.shared;
+        let (cache_hits, cache_misses, cache_evictions, cache_entries) = {
+            let c = shared.cache.lock().unwrap();
+            (c.hits, c.misses, c.evictions, c.map.len())
+        };
+        let max_queued = shared.sched.lock().unwrap().max_queued;
+        let mut scratch = [0u64; 3];
+        for slot in &shared.scratch_totals {
+            for (acc, cell) in scratch.iter_mut().zip(slot) {
+                *acc += cell.load(Ordering::Relaxed);
+            }
+        }
+        PoolStats {
+            jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: shared.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            max_queued,
+            workers: self.workers.len(),
+            scratch_table_hits: scratch[0],
+            scratch_table_misses: scratch[1],
+            scratch_table_evictions: scratch[2],
+        }
+    }
+
+    /// Drains the queue, joins the workers and returns the final
+    /// counters. Queued jobs still run (cancelled ones are answered
+    /// [`JobOutcome::Cancelled`]).
+    pub fn shutdown(mut self) -> PoolStats {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut sched = self.shared.sched.lock().unwrap();
+        sched.shutdown = true;
+        // Shutdown overrides pause: a paused, dropped pool must not
+        // hang its workers.
+        sched.paused = false;
+        drop(sched);
+        self.shared.job_ready.notify_all();
+    }
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Looks up (or computes) the plan for `circuit`. Planning happens
+/// under the cache lock — see [`PlanCache`].
+fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, AtlasError> {
+    let fp = CircuitFingerprint::of(circuit);
+    let mut cache = shared.cache.lock().unwrap();
+    cache.tick += 1;
+    let tick = cache.tick;
+    if let Some(entry) = cache.map.get_mut(&fp) {
+        entry.0 = tick;
+        let plan = Arc::clone(&entry.1);
+        cache.hits += 1;
+        return Ok(plan);
+    }
+    cache.misses += 1;
+    let plan = Arc::new(shared.planner.plan(circuit)?);
+    if cache.map.len() >= cache.capacity {
+        let coldest = cache
+            .map
+            .iter()
+            .min_by_key(|(_, (t, _))| *t)
+            .map(|(k, _)| *k)
+            .expect("cache at capacity is non-empty");
+        cache.map.remove(&coldest);
+        cache.evictions += 1;
+    }
+    cache.map.insert(fp, (tick, plan.clone()));
+    Ok(plan)
+}
+
+/// Runs one job to its output (cancellation already handled).
+fn run_job(
+    plan: &CompiledPlan,
+    circuit: &Circuit,
+    request: &JobRequest,
+) -> Result<JobOutput, AtlasError> {
+    match request {
+        JobRequest::Plan => {
+            let p = plan.plan();
+            Ok(JobOutput::Planned {
+                stages: p.stages.len(),
+                staging_cost: p.staging_cost,
+                optimal: p.staging_optimal,
+                solve_status: p.solve_status,
+            })
+        }
+        JobRequest::Execute => {
+            let run = plan.execute(circuit)?;
+            Ok(JobOutput::Executed {
+                model_secs: run.report.total_secs,
+                kernels: run.report.kernels,
+                norm: run.measurements.total_norm(),
+                top: run.measurements.top(4),
+                state: run.state,
+            })
+        }
+        JobRequest::Sample { shots, seed } => {
+            let run = plan.execute(circuit)?;
+            Ok(JobOutput::Sampled {
+                counts: run.measurements.sample_counts(*shots, *seed),
+            })
+        }
+        JobRequest::Expect { pauli } => {
+            if pauli.num_qubits() != circuit.num_qubits() {
+                return Err(AtlasError::InvalidConfig {
+                    reason: format!(
+                        "Pauli string spans {} qubit(s), circuit has {}",
+                        pauli.num_qubits(),
+                        circuit.num_qubits()
+                    ),
+                });
+            }
+            let run = plan.execute(circuit)?;
+            Ok(JobOutput::Expectation {
+                value: run.measurements.expectation(pauli),
+            })
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, slot: usize) {
+    loop {
+        // Take the next job (or exit once shut down and drained).
+        let job = {
+            let mut sched = shared.sched.lock().unwrap();
+            loop {
+                if sched.shutdown && sched.queued == 0 {
+                    return;
+                }
+                if !sched.paused {
+                    if let Some(job) = sched.dequeue() {
+                        break job;
+                    }
+                }
+                sched = shared.job_ready.wait(sched).unwrap();
+            }
+        };
+        shared.space_ready.notify_one();
+
+        let result = if job.cancel.is_cancelled() {
+            Ok(JobOutcome::Cancelled)
+        } else {
+            match plan_for(shared, &job.circuit) {
+                Err(e) => Err(e),
+                // Re-check after the (possibly long) planning phase —
+                // the last point where abandoning the job is sound.
+                Ok(_) if job.cancel.is_cancelled() => Ok(JobOutcome::Cancelled),
+                Ok(plan) => run_job(&plan, &job.circuit, &job.request).map(JobOutcome::Output),
+            }
+        };
+        match &result {
+            Ok(JobOutcome::Output(_)) => &shared.jobs_completed,
+            Ok(JobOutcome::Cancelled) => &shared.jobs_cancelled,
+            Err(_) => &shared.jobs_failed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        // Republish this worker's thread-local scratch-memo totals
+        // (monotonic, so a plain store is enough).
+        let totals =
+            scratch::with_thread(|s| [s.table_hits(), s.table_misses(), s.table_evictions()]);
+        for (cell, v) in shared.scratch_totals[slot].iter().zip(totals) {
+            cell.store(v, Ordering::Relaxed);
+        }
+        // The submitter may have dropped its handle; that's fine.
+        let _ = job.tx.send(result);
+
+        let mut sched = shared.sched.lock().unwrap();
+        sched.in_flight -= 1;
+        if sched.queued == 0 && sched.in_flight == 0 {
+            shared.idle.notify_all();
+        }
+    }
+}

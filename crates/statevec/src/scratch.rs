@@ -55,14 +55,23 @@ pub(crate) struct Bufs {
     pub out_off: Vec<u64>,
 }
 
-/// Memo of [`OffsetTable`]s with hit/miss counters.
+/// Memo of [`OffsetTable`]s with hit/miss/eviction counters.
+///
+/// Entries carry a last-use tick; at capacity the least-recently-used
+/// entry is evicted, so a long-lived serve process cycling through more
+/// than [`MEMO_MAX_ENTRIES`] distinct qubit sets keeps its hot tables
+/// warm instead of rebuilding the whole memo forever. All three
+/// counters are monotonic across evictions.
 pub(crate) struct Tables {
-    map: HashMap<Vec<u32>, OffsetTable>,
+    map: HashMap<Vec<u32>, (u64, OffsetTable)>,
     /// Home for tables too wide to be worth memoizing (`k` above
     /// [`MEMO_MAX_QUBITS`]): rebuilt per call, never inserted in `map`.
     transient: Option<OffsetTable>,
+    /// Logical clock: bumped per lookup, stamped on the entry used.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 /// Widest qubit list the memo retains. Fusion/shm kernels are ≤ 7 qubits,
@@ -73,7 +82,8 @@ const MEMO_MAX_QUBITS: usize = 11;
 /// Hard cap on memoized qubit lists. A plan's distinct kernel qubit sets
 /// number in the dozens; a long-lived process cycling through many
 /// structurally different circuits must not grow the memo without bound,
-/// so on overflow the memo resets (a few rebuilt tables, not a leak).
+/// so at capacity each new list evicts the least-recently-used entry
+/// (cold sets churn through one slot; hot sets stay resident).
 const MEMO_MAX_ENTRIES: usize = 256;
 
 fn build_table(qubits: &[u32]) -> OffsetTable {
@@ -93,8 +103,9 @@ fn build_table(qubits: &[u32]) -> OffsetTable {
 
 impl Tables {
     /// Returns the table for `qubits`, building it on first sight. Memory
-    /// is bounded: over-wide lists are served transiently and the memo
-    /// resets past [`MEMO_MAX_ENTRIES`] distinct lists.
+    /// is bounded: over-wide lists are served transiently and past
+    /// [`MEMO_MAX_ENTRIES`] distinct lists each new one evicts the
+    /// least-recently-used entry.
     pub(crate) fn lookup(&mut self, qubits: &[u32]) -> &OffsetTable {
         // Drop any previously served over-wide table — it must not stay
         // pinned in a thread-local arena past its one call.
@@ -104,16 +115,34 @@ impl Tables {
             self.transient = Some(build_table(qubits));
             return self.transient.as_ref().expect("just set");
         }
-        if self.map.contains_key(qubits) {
+        self.tick += 1;
+        if let Some(entry) = self.map.get_mut(qubits) {
+            // Hit: re-stamp and serve. No allocation on this path — the
+            // zero-alloc steady state of `tests/hotpath_alloc.rs` rides
+            // on it.
             self.hits += 1;
+            entry.0 = self.tick;
         } else {
             self.misses += 1;
             if self.map.len() >= MEMO_MAX_ENTRIES {
-                self.map.clear();
+                // Evict the coldest entry, not the whole memo: a server
+                // cycling through > MEMO_MAX_ENTRIES distinct qubit sets
+                // must not rebuild its hot tables forever. The O(cap)
+                // scan runs only on at-capacity misses, which already
+                // pay a table build.
+                let cold = self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, (t, _))| *t)
+                    .map(|(k, _)| k.clone())
+                    .expect("memo at capacity is non-empty");
+                self.map.remove(&cold);
+                self.evictions += 1;
             }
-            self.map.insert(qubits.to_vec(), build_table(qubits));
+            self.map
+                .insert(qubits.to_vec(), (self.tick, build_table(qubits)));
         }
-        self.map.get(qubits).expect("table just ensured")
+        &self.map.get(qubits).expect("table just ensured").1
     }
 }
 
@@ -140,8 +169,10 @@ impl Scratch {
             tables: Tables {
                 map: HashMap::new(),
                 transient: None,
+                tick: 0,
                 hits: 0,
                 misses: 0,
+                evictions: 0,
             },
             amp_pool: Vec::new(),
             offset_pool: Vec::new(),
@@ -162,9 +193,18 @@ impl Scratch {
         self.tables.hits
     }
 
-    /// Offset-table cache misses so far (one per *distinct* qubit list).
+    /// Offset-table cache misses so far (one per *distinct* qubit list,
+    /// plus one per rebuild of a previously evicted list).
     pub fn table_misses(&self) -> u64 {
         self.tables.misses
+    }
+
+    /// Offset-table LRU evictions so far (cold entries displaced once
+    /// the memo reached capacity). Like hits and misses, monotonic for
+    /// the lifetime of the arena — serve-mode cache-stats reports diff
+    /// snapshots of all three.
+    pub fn table_evictions(&self) -> u64 {
+        self.tables.evictions
     }
 
     /// Takes an owned amplitude buffer from the pool (empty, capacity
@@ -284,13 +324,41 @@ mod tests {
         let t = tables.lookup(&wide);
         assert!(t.identity_order);
         assert!(tables.map.is_empty());
-        // Exceeding the entry cap resets the memo instead of growing it
+        // Exceeding the entry cap evicts per insert instead of growing
         // (distinct 2-qubit lists, all positions < 64).
         for i in 0..(MEMO_MAX_ENTRIES as u32 + 8) {
             let _ = tables.lookup(&[i % 32, 32 + i / 32]);
         }
-        assert!(tables.map.len() <= MEMO_MAX_ENTRIES);
+        assert_eq!(tables.map.len(), MEMO_MAX_ENTRIES);
         assert_eq!(s.table_hits(), 0);
+        assert_eq!(s.table_evictions(), 8);
+    }
+
+    #[test]
+    fn memo_evicts_cold_entries_and_keeps_hot_ones() {
+        // The serve-mode churn scenario: one qubit set stays hot while a
+        // stream of distinct cold sets overflows the memo. The hot entry
+        // must hit on every round — pre-fix, the memo was cleared
+        // wholesale at capacity, rebuilding the hot table forever.
+        let mut s = Scratch::new();
+        let (_, tables) = s.split();
+        let hot = [0u32, 1];
+        tables.lookup(&hot);
+        let rounds = (MEMO_MAX_ENTRIES as u32) * 2;
+        for i in 0..rounds {
+            let _ = tables.lookup(&[i % 32, 32 + i / 32]); // distinct cold set
+            let _ = tables.lookup(&hot);
+        }
+        // One hit per round: the hot entry was never evicted.
+        assert_eq!(s.table_hits(), rounds as u64);
+        // Every cold set missed exactly once (plus the hot warm-up miss).
+        assert_eq!(s.table_misses(), rounds as u64 + 1);
+        // Evictions: inserts beyond capacity, all of them cold.
+        assert_eq!(
+            s.table_evictions(),
+            rounds as u64 + 1 - MEMO_MAX_ENTRIES as u64
+        );
+        assert_eq!(s.table_hits() + s.table_misses(), 1 + 2 * rounds as u64);
     }
 
     #[test]

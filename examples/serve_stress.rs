@@ -1,0 +1,145 @@
+//! Synthetic many-client stress harness for the `atlas-serve` session
+//! pool.
+//!
+//! Spawns `TENANTS` client threads that hammer one pool through a
+//! deliberately tight queue (capacity 4, 2 workers): every client
+//! submits a mix of execute / sample / expect jobs over *two* circuit
+//! structures (so the plan cache serves both), cancels every fifth job
+//! in flight, and uses blocking submission so backpressure throttles
+//! rather than drops. At the end the pool's accounting must balance to
+//! the job: submitted = completed + cancelled, zero rejections, queue
+//! high-water ≤ capacity, and exactly two PARTITION runs for the whole
+//! storm.
+//!
+//! ```text
+//! cargo run --example serve_stress
+//! ```
+
+use atlas::prelude::*;
+use atlas::serve::{JobOutcome, JobOutput, JobRequest, ServeConfig, SessionPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const TENANTS: usize = 6;
+const JOBS_PER_TENANT: usize = 8;
+
+fn main() {
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 7,
+    };
+    let cfg = AtlasConfig {
+        threads: 1,
+        ..AtlasConfig::default()
+    };
+    let pool = Arc::new(
+        SessionPool::new(
+            spec,
+            CostModel::default(),
+            cfg,
+            ServeConfig {
+                workers: 2,
+                queue_capacity: 4,
+                cache_capacity: 8,
+            },
+        )
+        .expect("pool"),
+    );
+    println!(
+        "stress  : {TENANTS} client(s) x {JOBS_PER_TENANT} job(s), queue 4, 2 worker(s), 2 circuit structures"
+    );
+
+    let qaoa = atlas::circuit::generators::qaoa(10);
+    let ghz = atlas::circuit::generators::ghz(10);
+    let completed = Arc::new(AtomicU64::new(0));
+    let cancelled = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+
+    let clients: Vec<_> = (0..TENANTS)
+        .map(|t| {
+            let pool = Arc::clone(&pool);
+            let completed = Arc::clone(&completed);
+            let cancelled = Arc::clone(&cancelled);
+            let (qaoa, ghz) = (qaoa.clone(), ghz.clone());
+            std::thread::spawn(move || {
+                let tenant = format!("client-{t}");
+                for j in 0..JOBS_PER_TENANT {
+                    let k = t * JOBS_PER_TENANT + j;
+                    // Alternate structures; shift parameters so every
+                    // job is a distinct sweep point of its structure.
+                    let circuit = if k.is_multiple_of(2) { &qaoa } else { &ghz }
+                        .map_params(|_, _, p| p + 0.01 * k as f64);
+                    let request = match k % 3 {
+                        0 => JobRequest::Execute,
+                        1 => JobRequest::Sample {
+                            shots: 32,
+                            seed: k as u64,
+                        },
+                        _ => JobRequest::Expect {
+                            pauli: "ZIIIIIIIIZ".parse().expect("valid Pauli"),
+                        },
+                    };
+                    let handle = pool
+                        .submit_blocking(&tenant, circuit, request)
+                        .expect("blocking submit");
+                    if k.is_multiple_of(5) {
+                        handle.cancel();
+                    }
+                    match handle.wait().expect("typed job failure") {
+                        JobOutcome::Cancelled => {
+                            cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        JobOutcome::Output(out) => {
+                            if let JobOutput::Executed { norm, .. } = &out {
+                                assert!((norm - 1.0).abs() < 1e-9, "norm drifted: {norm}");
+                            }
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let pool = Arc::into_inner(pool).expect("all clients joined");
+    let stats = pool.shutdown();
+    let total = (TENANTS * JOBS_PER_TENANT) as u64;
+    println!(
+        "done    : {total} job(s) in {wall:.3} s ({:.1} jobs/s): {} ok, {} cancelled",
+        total as f64 / wall,
+        stats.jobs_completed,
+        stats.jobs_cancelled,
+    );
+    println!(
+        "cache   : {} hit(s) / {} lookup(s) ({} plan(s) compiled, {} resident)",
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+        stats.cache_misses,
+        stats.cache_entries,
+    );
+    println!(
+        "queue   : peak depth {} (capacity 4), {} rejection(s)",
+        stats.max_queued, stats.jobs_rejected
+    );
+
+    // The accounting must balance exactly — this is the harness's
+    // pass/fail criterion.
+    assert_eq!(stats.jobs_submitted, total);
+    assert_eq!(stats.jobs_completed + stats.jobs_cancelled, total);
+    assert_eq!(stats.jobs_completed, completed.load(Ordering::Relaxed));
+    assert_eq!(stats.jobs_cancelled, cancelled.load(Ordering::Relaxed));
+    assert_eq!(stats.jobs_rejected, 0, "blocking submits never reject");
+    assert!(stats.max_queued <= 4, "queue overran its bound");
+    assert_eq!(stats.jobs_failed, 0);
+    assert_eq!(
+        stats.cache_misses, 2,
+        "two structures => exactly two PARTITION runs"
+    );
+    println!("PASS    : accounting balanced; 2 structures planned once each");
+}

@@ -13,13 +13,19 @@
 //! atlas-sim --family qaoa -n 8 --sweep 16 --shots 64 --seed 7
 //! atlas-sim --family ghz -n 10 --expect ZIIIIIIIIZ
 //! atlas-sim --qasm circuit.qasm --nodes 1 --gpus 4 -L 24 --dry
+//! atlas-sim serve --nodes 2 --gpus 2 -L 5 < jobs.ndjson
 //! ```
+//!
+//! The `serve` subcommand runs the multi-tenant session pool
+//! (`atlas-serve`): NDJSON job lines on stdin, one deterministic
+//! response line per job on stdout (submission order), aggregate pool
+//! statistics on stderr. See `docs/SERVE.md` for the wire format.
 //!
 //! Exit codes map [`AtlasError`] variants so scripts can dispatch on the
 //! failure family: `0` success, `1` generic runtime failure, `2` usage
 //! error / invalid configuration, `3` circuit too small for the machine,
 //! `4` staging failed, `5` ILP budget exceeded, `6` invalid plan / plan
-//! mismatch, `7` parse error.
+//! mismatch, `7` parse error, `8` session pool overloaded.
 
 use atlas::baselines;
 use atlas::circuit::qasm;
@@ -52,6 +58,20 @@ struct Args {
     /// `--profile`: emit the per-stage `StageTiming` breakdown as JSON
     /// lines on stderr.
     profile: bool,
+    /// `serve` subcommand: run the multi-tenant session pool over
+    /// NDJSON stdin/stdout.
+    serve: bool,
+    /// `--workers` (serve): pool worker threads (default: all cores).
+    workers: usize,
+    /// `--queue` (serve): bounded queue capacity.
+    queue: usize,
+    /// `--cache` (serve): plan-cache capacity.
+    cache: usize,
+    /// `--threads` appeared explicitly (serve defaults to 1 thread per
+    /// job and parallelizes across workers instead).
+    threads_set: bool,
+    /// `-L` appeared explicitly (serve has no circuit to default from).
+    l_set: bool,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -59,6 +79,7 @@ const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas
 USAGE:
     atlas-sim --family <name> -n <qubits> [options]
     atlas-sim --qasm <file> [options]
+    atlas-sim serve --nodes <k> --gpus <k> -L <k> [serve options]
 
 CIRCUIT:
     --family <name>     ae|dj|ghz|graphstate|ising|qft|qpeexact|qsvm|
@@ -98,16 +119,27 @@ MEASUREMENTS (functional Atlas runs; computed on the sharded state):
                         (I/X/Y/Z per qubit, leftmost = highest qubit;
                         repeatable)
 
+SERVE (multi-tenant session pool; NDJSON stdin -> stdout):
+    serve               read job lines from stdin, answer one response
+                        line per job on stdout in submission order
+                        (deterministic for a fixed job stream); pool
+                        statistics go to stderr; -L is required since
+                        each job line carries its own circuit
+    --workers <k>       pool worker threads (default: all cores)
+    --queue <k>         bounded job-queue capacity (default 64)
+    --cache <k>         compiled-plan LRU cache capacity (default 32)
+
 --dry and --plan contradict --top/--shots/--seed/--expect, --baseline
 contradicts --shots/--seed/--expect, and --sweep contradicts
---dry/--plan/--baseline; such combinations are rejected with exit
-code 2.
+--dry/--plan/--baseline; serve contradicts every circuit, mode and
+measurement flag; such combinations are rejected with exit code 2.
 
 EXIT CODES:
     0 success                 4 staging failed
     1 runtime failure         5 ILP budget exceeded
     2 usage / invalid config  6 invalid plan / plan mismatch
     3 circuit too small       7 parse error
+                              8 session pool overloaded
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -130,6 +162,12 @@ fn parse_args() -> Result<Args, String> {
         expect: Vec::new(),
         sweep: 0,
         profile: false,
+        serve: false,
+        workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+        queue: 64,
+        cache: 32,
+        threads_set: false,
+        l_set: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -163,8 +201,17 @@ fn parse_args() -> Result<Args, String> {
             "--threads" => {
                 args.threads = take(&mut i)?
                     .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                    .map_err(|e| format!("--threads: {e}"))?;
+                args.threads_set = true;
             }
+            "serve" => args.serve = true,
+            "--workers" => {
+                args.workers = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => args.queue = take(&mut i)?.parse().map_err(|e| format!("--queue: {e}"))?,
+            "--cache" => args.cache = take(&mut i)?.parse().map_err(|e| format!("--cache: {e}"))?,
             "--shots" => args.shots = take(&mut i)?.parse().map_err(|e| format!("--shots: {e}"))?,
             "--seed" => {
                 args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -184,6 +231,7 @@ fn parse_args() -> Result<Args, String> {
     if !l_set {
         args.local_qubits = args.n;
     }
+    args.l_set = l_set;
     Ok(args)
 }
 
@@ -208,6 +256,38 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
         }
         f.join("/")
     };
+    if args.serve {
+        if args.family.is_some() || args.qasm_path.is_some() {
+            return Err("serve reads its circuits from NDJSON job lines; \
+                 it contradicts --family/--qasm"
+                .to_string());
+        }
+        if args.dry || args.plan_only || args.baseline.is_some() || args.sweep > 0 || args.profile {
+            return Err(
+                "serve contradicts the run-mode flags --dry/--plan/--baseline/--sweep/--profile"
+                    .to_string(),
+            );
+        }
+        if wants_measurements {
+            return Err(format!(
+                "serve jobs carry their own measurement requests; serve contradicts {}",
+                measurement_flags(args)
+            ));
+        }
+        if !args.l_set {
+            return Err("serve needs an explicit -L (each job line carries its own \
+                 circuit, so there is no -n to default from)"
+                .to_string());
+        }
+        return Ok(());
+    }
+    // `--workers/--queue/--cache` shape the session pool only.
+    if args.workers != std::thread::available_parallelism().map_or(1, |p| p.get())
+        || args.queue != 64
+        || args.cache != 32
+    {
+        return Err("--workers/--queue/--cache apply to the serve subcommand only".to_string());
+    }
     if args.dry && wants_measurements {
         return Err(format!(
             "--dry runs the clock model only (no amplitudes); it contradicts {}",
@@ -261,6 +341,7 @@ fn error_exit(e: &atlas::core::AtlasError) -> ExitCode {
         IlpBudgetExceeded { .. } => 5,
         InvalidPlan { .. } | PlanMismatch { .. } => 6,
         ParseError { .. } => 7,
+        Overloaded { .. } => 8,
         // Future variants (the enum is non_exhaustive): generic failure.
         _ => 1,
     })
@@ -292,6 +373,107 @@ fn usage_error(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
+/// The `serve` subcommand: NDJSON job lines on stdin, one response line
+/// per job on stdout in **submission order** (so a fixed job stream
+/// yields byte-identical output for any worker count or cache state),
+/// aggregate pool statistics on stderr.
+///
+/// Unparseable lines produce an in-band `"kind":"parse-error"` response
+/// at their position instead of aborting the stream; job-level failures
+/// likewise answer in-band. The process exits 0 as long as the stream
+/// itself was served.
+fn run_serve(args: &Args) -> ExitCode {
+    use atlas::serve::{json, parse_job, render_response, ServeConfig, SessionPool};
+    use std::io::BufRead;
+
+    // One thread per job by default: serve parallelizes across workers,
+    // not inside a job (results are identical either way).
+    let threads = if args.threads_set { args.threads } else { 1 };
+    let cfg = match AtlasConfig::builder().threads(threads).build() {
+        Ok(c) => c,
+        Err(e) => return error_exit(&e),
+    };
+    let spec = MachineSpec {
+        nodes: args.nodes,
+        gpus_per_node: args.gpus_per_node,
+        local_qubits: args.local_qubits,
+    };
+    let serve_cfg = ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        cache_capacity: args.cache,
+    };
+    let pool = match SessionPool::new(spec, CostModel::default(), cfg, serve_cfg) {
+        Ok(p) => p,
+        Err(e) => return error_exit(&e),
+    };
+    eprintln!(
+        "serve   : {} node(s) x {} GPU(s), L={}; {} worker(s), queue {}, plan cache {}",
+        args.nodes, args.gpus_per_node, args.local_qubits, args.workers, args.queue, args.cache
+    );
+
+    /// A response slot, in submission order.
+    enum Pending {
+        /// Answered at parse time (malformed line).
+        Ready(String),
+        /// Waiting on the pool.
+        Waiting(String, atlas::serve::JobHandle),
+    }
+    let mut pending: Vec<Pending> = Vec::new();
+    for line in std::io::stdin().lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_job(&line) {
+            Err(e) => pending.push(Pending::Ready(format!(
+                r#"{{"id":null,"ok":false,"kind":"parse-error","error":"{}"}}"#,
+                json::escape(&e)
+            ))),
+            // Backpressure: block for queue space rather than dropping
+            // jobs read from a pipe.
+            Ok(job) => match pool.submit_blocking(&job.tenant, job.circuit, job.request) {
+                Ok(handle) => pending.push(Pending::Waiting(job.id, handle)),
+                Err(e) => return error_exit(&e),
+            },
+        }
+    }
+    for slot in pending {
+        match slot {
+            Pending::Ready(line) => println!("{line}"),
+            Pending::Waiting(id, handle) => {
+                println!("{}", render_response(&id, &handle.wait()));
+            }
+        }
+    }
+    let stats = pool.shutdown();
+    eprintln!(
+        "serve   : {} job(s): {} ok, {} failed, {} cancelled, {} rejected; \
+         plan cache {}/{} hit(s) ({} evicted, {} resident); peak queue {}",
+        stats.jobs_submitted,
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.jobs_cancelled,
+        stats.jobs_rejected,
+        stats.cache_hits,
+        stats.cache_hits + stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_entries,
+        stats.max_queued,
+    );
+    eprintln!(
+        "scratch : offset-table memo {} hit(s) / {} miss(es), {} eviction(s)",
+        stats.scratch_table_hits, stats.scratch_table_misses, stats.scratch_table_evictions
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -299,6 +481,9 @@ fn main() -> ExitCode {
     };
     if let Err(e) = check_flag_conflicts(&args) {
         return usage_error(&e);
+    }
+    if args.serve {
+        return run_serve(&args);
     }
     let circuit = match build_circuit(&args) {
         Ok(c) => c,
@@ -431,10 +616,18 @@ fn main() -> ExitCode {
     };
     let plan_secs = t_plan.elapsed().as_secs_f64();
     let plan = compiled.plan();
+    // Budget-limited plans must be visible, not silent: the generic
+    // ILP's verdict rides on the plan (`None` for the other stagers).
+    let status_note = match plan.solve_status {
+        Some(atlas::ilp::SolveStatus::Feasible) => {
+            " (ILP budget hit: best incumbent, not proven optimal)"
+        }
+        _ => "",
+    };
 
     if args.plan_only {
         println!(
-            "plan    : {} stage(s), staging cost {}, kernel cost {:.4} ns/amp",
+            "plan    : {} stage(s), staging cost {}, kernel cost {:.4} ns/amp{status_note}",
             plan.stages.len(),
             plan.staging_cost,
             plan.kernel_cost
@@ -451,7 +644,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "plan    : {} stage(s), staging cost {}",
+        "plan    : {} stage(s), staging cost {}{status_note}",
         plan.stages.len(),
         plan.staging_cost
     );

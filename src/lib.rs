@@ -12,6 +12,7 @@ pub use atlas_ilp as ilp;
 pub use atlas_machine as machine;
 pub use atlas_qmath as qmath;
 pub use atlas_sampler as sampler;
+pub use atlas_serve as serve;
 pub use atlas_statevec as statevec;
 
 /// The names most programs need.

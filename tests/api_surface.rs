@@ -21,7 +21,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/api_surface.txt");
-const CRATES: &[&str] = &["crates/core", "crates/sampler"];
+const CRATES: &[&str] = &["crates/core", "crates/sampler", "crates/serve"];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stability.
 fn rust_files(dir: &Path) -> Vec<PathBuf> {

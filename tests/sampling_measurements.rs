@@ -23,7 +23,6 @@ fn measurement_cfg(staging: StagingAlgo, kernelizer: KernelAlgo, threads: usize)
         kernelizer,
         threads,
         final_unpermute: false,
-        ilp_time_limit: std::time::Duration::from_millis(500),
         ilp_node_limit: 200_000,
         ..AtlasConfig::default()
     }

@@ -1,0 +1,61 @@
+//! Proof that the session pool amortizes PARTITION across *tenants*:
+//! N clients submitting structurally identical circuits drive the
+//! staging solver exactly once, through the shared fingerprint-keyed
+//! plan cache.
+//!
+//! Own integration-test binary — and therefore own process — because
+//! `atlas_core::staging::staging_invocations()` is a process-global
+//! counter: unrelated tests planning concurrently in the same binary
+//! would race it. (Same reason `tests/plan_once.rs` is separate.)
+
+use atlas::core::staging::staging_invocations;
+use atlas::prelude::*;
+use atlas::serve::{JobOutcome, JobOutput, JobRequest, ServeConfig, SessionPool};
+
+#[test]
+fn many_tenants_same_structure_plan_exactly_once() {
+    const TENANTS: usize = 3;
+    const JOBS_PER_TENANT: usize = 4;
+    let base = atlas::circuit::generators::qaoa(8);
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 5,
+    };
+    let cfg = AtlasConfig {
+        threads: 1,
+        ..AtlasConfig::default()
+    };
+    let pool = SessionPool::new(spec, CostModel::default(), cfg, ServeConfig::default()).unwrap();
+
+    let before = staging_invocations();
+    let mut handles = Vec::new();
+    for t in 0..TENANTS {
+        for j in 0..JOBS_PER_TENANT {
+            // Different parameters per job — same structure, so every
+            // job shares one cached plan.
+            let point = base.map_params(|_, _, p| p + 0.05 * (t * JOBS_PER_TENANT + j) as f64);
+            handles.push(
+                pool.submit(&format!("tenant-{t}"), point, JobRequest::Execute)
+                    .unwrap(),
+            );
+        }
+    }
+    for h in handles {
+        match h.wait().unwrap() {
+            JobOutcome::Output(JobOutput::Executed { norm, .. }) => {
+                assert!((norm - 1.0).abs() < 1e-9)
+            }
+            other => panic!("expected Executed, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        staging_invocations() - before,
+        1,
+        "{TENANTS} tenants x {JOBS_PER_TENANT} jobs must invoke PARTITION exactly once"
+    );
+    let stats = pool.shutdown();
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, (TENANTS * JOBS_PER_TENANT - 1) as u64);
+    assert_eq!(stats.jobs_completed, (TENANTS * JOBS_PER_TENANT) as u64);
+}
