@@ -18,8 +18,13 @@ pub struct Circuit {
 
 impl Circuit {
     /// Creates an empty circuit over `n` qubits.
+    ///
+    /// The container itself is backend-agnostic and accepts up to 4096
+    /// qubits (the stabilizer tableau runs in polynomial space). The
+    /// statevector planner enforces its own n ≤ 63 bound — bitmask
+    /// shard arithmetic — with a typed error at plan time.
     pub fn new(n: u32) -> Self {
-        assert!((1..=63).contains(&n), "supported qubit range is 1..=63");
+        assert!((1..=4096).contains(&n), "supported qubit range is 1..=4096");
         Circuit {
             n,
             gates: Vec::new(),
@@ -225,6 +230,24 @@ impl Circuit {
         c
     }
 
+    /// Number of leading gates that are Clifford (see
+    /// [`GateKind::is_clifford`]): `num_gates()` for an all-Clifford
+    /// circuit, 0 when the very first gate is already non-Clifford.
+    /// This is the backend-dispatch split point — the prefix runs on
+    /// the tableau, the suffix (if any) on the statevector engine.
+    pub fn clifford_prefix_len(&self) -> usize {
+        self.gates
+            .iter()
+            .position(|g| !g.kind.is_clifford())
+            .unwrap_or(self.gates.len())
+    }
+
+    /// `true` when every gate is Clifford (the whole circuit can run on
+    /// the stabilizer tableau backend).
+    pub fn is_clifford(&self) -> bool {
+        self.clifford_prefix_len() == self.num_gates()
+    }
+
     /// Returns a new circuit containing the gates at `indices`, in order.
     pub fn subcircuit(&self, indices: &[usize]) -> Circuit {
         let mut c = Circuit::named(self.n, self.name.clone());
@@ -350,6 +373,35 @@ mod tests {
         let mut b = Circuit::new(2);
         b.x(0);
         assert!(!a.topologically_equivalent(&b));
+    }
+
+    #[test]
+    fn clifford_prefix_and_classification() {
+        let c = sample(); // h, cx, cx, t, cz — t is the first non-Clifford
+        assert_eq!(c.clifford_prefix_len(), 3);
+        assert!(!c.is_clifford());
+        let mut all = Circuit::new(3);
+        all.h(0).cx(0, 1).cz(1, 2).swap(0, 2);
+        assert!(all.is_clifford());
+        assert_eq!(all.clifford_prefix_len(), 4);
+        let mut none = Circuit::new(2);
+        none.t(0).h(1);
+        assert_eq!(none.clifford_prefix_len(), 0);
+    }
+
+    #[test]
+    fn wide_circuits_construct_beyond_the_statevector_bound() {
+        // 200-qubit GHZ-style chain: container-level ops (deps, depth,
+        // prefix classification) must work; only the statevector
+        // planner bounds n at 63.
+        let mut c = Circuit::new(200);
+        c.h(0);
+        for q in 0..199 {
+            c.cx(q, q + 1);
+        }
+        assert_eq!(c.num_gates(), 200);
+        assert!(c.is_clifford());
+        assert_eq!(c.depth(), 200);
     }
 
     #[test]

@@ -70,6 +70,18 @@ pub enum GateKind {
     CCZ,
     /// Controlled SWAP (Fredkin). qubits = [control, t0, t1].
     CSwap,
+    /// A stochastic Pauli-noise slot: applies I, X, Y or Z depending on
+    /// the selector parameter (`sel.rem_euclid(4)` after rounding: 0 →
+    /// I, 1 → X, 2 → Y, 3 → Z).
+    ///
+    /// Noise trajectories re-draw only the selector via
+    /// `Circuit::map_params`, so every trajectory of a noisy circuit
+    /// shares one structural fingerprint — the noisy-sweep equivalent
+    /// of a parameter sweep. The insularity classifier treats the slot
+    /// as non-insular regardless of the selector (see
+    /// `insular::gate_insularity`), which keeps the compiled plan valid
+    /// for all four Pauli outcomes.
+    PauliNoise(f64),
 }
 
 impl GateKind {
@@ -77,7 +89,8 @@ impl GateKind {
     pub fn arity(self) -> usize {
         use GateKind::*;
         match self {
-            H | X | Y | Z | S | Sdg | T | Tdg | SX | RX(_) | RY(_) | RZ(_) | P(_) | U3(..) => 1,
+            H | X | Y | Z | S | Sdg | T | Tdg | SX | RX(_) | RY(_) | RZ(_) | P(_) | U3(..)
+            | PauliNoise(_) => 1,
             CX | CY | CZ | CH | CP(_) | CRX(_) | CRY(_) | CRZ(_) | Swap | RZZ(_) | RXX(_) => 2,
             CCX | CCZ | CSwap => 3,
         }
@@ -126,14 +139,38 @@ impl GateKind {
             CCX => "ccx",
             CCZ => "ccz",
             CSwap => "cswap",
+            PauliNoise(_) => "pnoise",
         }
+    }
+
+    /// Which Pauli a noise selector resolves to: `sel.rem_euclid(4)`
+    /// after rounding toward zero — 0 → I, 1 → X, 2 → Y, 3 → Z.
+    ///
+    /// Exposed so both backends and the trajectory sampler agree on
+    /// the decoding without duplicating the arithmetic.
+    pub fn pauli_noise_select(sel: f64) -> usize {
+        (sel as i64).rem_euclid(4) as usize
+    }
+
+    /// `true` when the gate's unitary lies in the Clifford group for
+    /// every parameter value it can take — the kinds the stabilizer
+    /// tableau backend can replay. Parameterized rotations are excluded
+    /// even at Clifford angles: dispatch is structural, so a sweep over
+    /// angles must not flip backends mid-sweep.
+    pub fn is_clifford(self) -> bool {
+        use GateKind::*;
+        matches!(
+            self,
+            H | X | Y | Z | S | Sdg | SX | CX | CY | CZ | Swap | PauliNoise(_)
+        )
     }
 
     /// Gate parameters (rotation angles), in declaration order.
     pub fn params(self) -> Vec<f64> {
         use GateKind::*;
         match self {
-            RX(t) | RY(t) | RZ(t) | P(t) | CP(t) | CRX(t) | CRY(t) | CRZ(t) | RZZ(t) | RXX(t) => {
+            RX(t) | RY(t) | RZ(t) | P(t) | CP(t) | CRX(t) | CRY(t) | CRZ(t) | RZZ(t) | RXX(t)
+            | PauliNoise(t) => {
                 vec![t]
             }
             U3(a, b, c) => vec![a, b, c],
@@ -171,6 +208,7 @@ impl GateKind {
             CRZ(_) => CRZ(params[0]),
             RZZ(_) => RZZ(params[0]),
             RXX(_) => RXX(params[0]),
+            PauliNoise(_) => PauliNoise(params[0]),
             other => other,
         }
     }
@@ -227,6 +265,12 @@ impl GateKind {
                     Complex64::cis(l),
                 ],
             ),
+            PauliNoise(sel) => match GateKind::pauli_noise_select(sel) {
+                0 => Matrix::from_reim(2, 2, &[(1.0, 0.0), (0.0, 0.0), (0.0, 0.0), (1.0, 0.0)]),
+                1 => X.single_qubit_matrix().unwrap(),
+                2 => Y.single_qubit_matrix().unwrap(),
+                _ => Z.single_qubit_matrix().unwrap(),
+            },
             U3(t, phi, lam) => {
                 let (c, sn) = ((t / 2.0).cos(), (t / 2.0).sin());
                 Matrix::from_rows(
@@ -501,6 +545,10 @@ mod tests {
             CCX,
             CCZ,
             CSwap,
+            PauliNoise(0.0),
+            PauliNoise(1.0),
+            PauliNoise(2.0),
+            PauliNoise(3.0),
         ]
     }
 
@@ -566,6 +614,65 @@ mod tests {
             &GateKind::X.matrix(),
             1e-9
         ));
+    }
+
+    #[test]
+    fn pauli_noise_selector_decodes_and_wraps() {
+        use GateKind::PauliNoise;
+        // Selector 0..3 picks I, X, Y, Z; values wrap modulo 4
+        // (including negatives, via rem_euclid).
+        for (sel, want) in [
+            (0.0, None),
+            (1.0, Some(GateKind::X)),
+            (2.0, Some(GateKind::Y)),
+            (3.0, Some(GateKind::Z)),
+            (4.0, None),
+            (5.0, Some(GateKind::X)),
+            (-1.0, Some(GateKind::Z)),
+            (-3.0, Some(GateKind::X)),
+        ] {
+            let got = PauliNoise(sel).matrix();
+            match want {
+                Some(k) => assert!(
+                    atlas_qmath::matrix::equal_up_to_global_phase(&got, &k.matrix(), 1e-12),
+                    "sel={sel}"
+                ),
+                None => {
+                    for i in 0..2 {
+                        for j in 0..2 {
+                            let want = if i == j {
+                                Complex64::ONE
+                            } else {
+                                Complex64::ZERO
+                            };
+                            assert!(got[(i, j)].approx_eq(want, EPS), "sel={sel}");
+                        }
+                    }
+                }
+            }
+        }
+        // Re-parameterization changes the selector but not the name,
+        // arity or Clifford-ness — the trajectory-sweep invariant.
+        let g = PauliNoise(0.0).with_params(&[3.0]);
+        assert_eq!(g, PauliNoise(3.0));
+        assert_eq!(g.name(), "pnoise");
+        assert!(g.is_clifford());
+    }
+
+    #[test]
+    fn clifford_classification() {
+        use GateKind::*;
+        for k in all_kinds() {
+            let expect = matches!(
+                k,
+                H | X | Y | Z | S | Sdg | SX | CX | CY | CZ | Swap | PauliNoise(_)
+            );
+            assert_eq!(k.is_clifford(), expect, "{k:?}");
+        }
+        // T and rotations stay non-Clifford even at Clifford angles:
+        // dispatch must be structural.
+        assert!(!T.is_clifford());
+        assert!(!RZ(std::f64::consts::FRAC_PI_2).is_clifford());
     }
 
     #[test]

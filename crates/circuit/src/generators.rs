@@ -403,6 +403,42 @@ pub fn qaoa_layers(n: u32, p: u32) -> Circuit {
     c
 }
 
+/// A fixed-seed random Clifford circuit: four rounds of [one random
+/// single-qubit Clifford per qubit, then `n` random two-qubit Clifford
+/// gates on random distinct pairs]. Exactly `8n` gates, all drawn from
+/// the stabilizer alphabet, so the whole circuit routes to the tableau
+/// backend — and re-runs on the statevector engine bit-for-bit
+/// identically, which is what the backend differential suite diffs.
+pub fn clifford(n: u32) -> Circuit {
+    assert!(n >= 2, "clifford family needs at least 2 qubits");
+    let mut rng = seeded_rng("clifford", n);
+    let mut c = Circuit::named(n, format!("clifford_{n}"));
+    let singles = [
+        GateKind::H,
+        GateKind::X,
+        GateKind::Y,
+        GateKind::Z,
+        GateKind::S,
+        GateKind::Sdg,
+        GateKind::SX,
+    ];
+    let doubles = [GateKind::CX, GateKind::CY, GateKind::CZ, GateKind::Swap];
+    for _round in 0..4 {
+        for q in 0..n {
+            c.add(singles[rng.random_range(0..singles.len())], &[q]);
+        }
+        for _ in 0..n {
+            let a = rng.random_range(0..n);
+            let mut b = rng.random_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            c.add(doubles[rng.random_range(0..doubles.len())], &[a, b]);
+        }
+    }
+    c
+}
+
 /// Grover search over `n` total qubits: the largest data register `d`
 /// whose multi-controlled-Z fits in `n` (a Toffoli V-chain needs `d - 2`
 /// ancillas for `d ≥ 4`; `d ≤ 3` uses CZ/CCZ directly), a seeded marked
@@ -622,6 +658,17 @@ mod tests {
                 assert!(c.num_gates() > 0);
                 assert_eq!(c.num_qubits(), n);
             }
+        }
+    }
+
+    #[test]
+    fn clifford_family_is_deterministic_and_all_clifford() {
+        for n in [2u32, 6, 9, 200] {
+            let a = clifford(n);
+            let b = clifford(n);
+            assert_eq!(a.gates(), b.gates(), "clifford_{n} not deterministic");
+            assert_eq!(a.num_gates(), 8 * n as usize);
+            assert!(a.is_clifford(), "clifford_{n} must stay in the alphabet");
         }
     }
 

@@ -82,7 +82,17 @@ pub fn classify_qubit(m: &Matrix, t: u32) -> InsularKind {
 
 /// Per-position insularity of a gate. Index `i` corresponds to
 /// `gate.qubits[i]`.
+///
+/// `PauliNoise` is classified by *kind*, not numerically: its unitary
+/// depends on the trajectory selector (I and Z are diagonal, X and Y
+/// anti-diagonal), and a plan compiled for one trajectory must stay
+/// valid when `map_params` re-draws the selectors. NonInsular is the
+/// one classification sound for all four outcomes — the slot's qubit is
+/// pinned local and the executor reads the actual matrix at run time.
 pub fn gate_insularity(gate: &Gate) -> Vec<InsularKind> {
+    if matches!(gate.kind, crate::gate::GateKind::PauliNoise(_)) {
+        return vec![InsularKind::NonInsular];
+    }
     let m = gate.matrix();
     (0..gate.arity() as u32)
         .map(|t| classify_qubit(&m, t))
@@ -186,6 +196,20 @@ mod tests {
         for (k, expect) in cases {
             let g = Gate::new(k, &[0]);
             assert_eq!(gate_insularity(&g)[0], expect, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn pauli_noise_is_non_insular_for_every_selector() {
+        // Kind-level override: numerically, pnoise(0) is diagonal and
+        // pnoise(1) anti-diagonal, but the classification (and hence
+        // the fingerprint and the compiled plan) must not depend on the
+        // trajectory selector.
+        for sel in [0.0, 1.0, 2.0, 3.0, -2.0, 7.0] {
+            let g = Gate::new(GateKind::PauliNoise(sel), &[2]);
+            assert_eq!(gate_insularity(&g)[0], InsularKind::NonInsular, "sel={sel}");
+            assert_eq!(non_insular_mask(&g), 1 << 2);
+            assert_eq!(staging_mask(&g), 1 << 2);
         }
     }
 

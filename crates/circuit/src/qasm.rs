@@ -135,6 +135,9 @@ pub fn from_qasm(text: &str) -> Result<Circuit, QasmError> {
             ("ccx", 0) => GateKind::CCX,
             ("ccz", 0) => GateKind::CCZ,
             ("cswap", 0) => GateKind::CSwap,
+            // Not part of qelib1 — our noise-slot extension, kept in
+            // the reader so noisy templates round-trip through QASM.
+            ("pnoise", 1) => GateKind::PauliNoise(p(0)),
             _ => return Err(QasmError::UnknownGate(lineno, name.to_string())),
         };
         if kind.arity() != qubits.len() {

@@ -18,6 +18,48 @@ pub enum StagingAlgo {
     Snuqs,
 }
 
+/// Which simulation engine runs the circuit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Dispatch on circuit structure: all-Clifford circuits run on the
+    /// stabilizer tableau, circuits with a long Clifford prefix
+    /// fast-forward on the tableau and hand off to the statevector
+    /// engine, everything else runs on the statevector engine (default).
+    #[default]
+    Auto,
+    /// Force the sharded statevector engine (≤ 63 qubits).
+    Statevec,
+    /// Force the stabilizer tableau (all-Clifford circuits only, up to
+    /// thousands of qubits).
+    Stabilizer,
+}
+
+impl BackendKind {
+    /// The CLI spelling of the variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Auto => "auto",
+            BackendKind::Statevec => "statevec",
+            BackendKind::Stabilizer => "stabilizer",
+        }
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = AtlasError;
+
+    fn from_str(s: &str) -> Result<Self, AtlasError> {
+        match s {
+            "auto" => Ok(BackendKind::Auto),
+            "statevec" => Ok(BackendKind::Statevec),
+            "stabilizer" => Ok(BackendKind::Stabilizer),
+            other => Err(AtlasError::invalid_config(format!(
+                "unknown backend '{other}' (expected auto|statevec|stabilizer)"
+            ))),
+        }
+    }
+}
+
 /// Which algorithm groups a stage's gates into kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelAlgo {
@@ -87,8 +129,21 @@ pub struct AtlasConfig {
     /// [`seed`]: AtlasConfig::seed
     pub shots: usize,
     /// Seed of the counter-based measurement RNG (shot `i` draws a pure
-    /// function of `(seed, i)`).
+    /// function of `(seed, i)`). With [`noise`](AtlasConfig::noise) it
+    /// additionally seeds the trajectory selector draws.
     pub seed: u64,
+    /// Depolarizing error probability per gate-touched qubit (`0.0` =
+    /// noiseless). Each noisy run is a Pauli-twirled stochastic
+    /// trajectory: with probability `noise` a uniformly random X/Y/Z is
+    /// injected after the gate on each qubit it touches. Trajectory `i`
+    /// is a pure function of ([`seed`](AtlasConfig::seed)`, i`), so
+    /// results are byte-identical across thread and worker counts.
+    pub noise: f64,
+    /// Number of stochastic trajectories to average when
+    /// [`noise`](AtlasConfig::noise)` > 0` (ignored when noiseless).
+    pub trajectories: usize,
+    /// Which simulation engine runs the circuit.
+    pub backend: BackendKind,
 }
 
 impl Default for AtlasConfig {
@@ -106,6 +161,9 @@ impl Default for AtlasConfig {
             threads: 1,
             shots: 0,
             seed: 0,
+            noise: 0.0,
+            trajectories: 1,
+            backend: BackendKind::Auto,
         }
     }
 }
@@ -145,11 +203,24 @@ impl AtlasConfig {
                 "threads = 0: the executor needs at least one host thread",
             ));
         }
-        if self.seed != 0 && self.shots == 0 {
+        if self.seed != 0 && self.shots == 0 && self.noise == 0.0 {
             return Err(AtlasError::invalid_config(format!(
-                "seed {} set without shots: the seed only affects shot sampling",
+                "seed {} set without shots or noise: the seed only affects \
+                 shot sampling and noise-trajectory draws",
                 self.seed
             )));
+        }
+        if !(0.0..=1.0).contains(&self.noise) || self.noise.is_nan() {
+            return Err(AtlasError::invalid_config(format!(
+                "noise = {}: the per-qubit error probability must lie in [0, 1]",
+                self.noise
+            )));
+        }
+        if self.noise > 0.0 && self.trajectories == 0 {
+            return Err(AtlasError::invalid_config(
+                "trajectories = 0 with noise > 0: a noisy run needs at least \
+                 one stochastic trajectory",
+            ));
         }
         if self.max_stages == 0 {
             return Err(AtlasError::invalid_config(
@@ -311,11 +382,31 @@ impl AtlasConfigBuilder {
     }
 
     /// Sets the seed of the counter-based measurement RNG. Requires
-    /// [`shots`](AtlasConfigBuilder::shots) `> 0` at build time — a seed
-    /// with nothing to sample is an [`AtlasError::InvalidConfig`].
+    /// [`shots`](AtlasConfigBuilder::shots) `> 0` or
+    /// [`noise`](AtlasConfigBuilder::noise) `> 0` at build time — a seed
+    /// with nothing to draw is an [`AtlasError::InvalidConfig`].
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
         self.seed_set = true;
+        self
+    }
+
+    /// Sets the per-qubit depolarizing error probability (Pauli-twirled
+    /// stochastic trajectories).
+    pub fn noise(mut self, p: f64) -> Self {
+        self.cfg.noise = p;
+        self
+    }
+
+    /// Sets the number of stochastic trajectories averaged under noise.
+    pub fn trajectories(mut self, k: usize) -> Self {
+        self.cfg.trajectories = k;
+        self
+    }
+
+    /// Picks the simulation backend.
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.cfg.backend = backend;
         self
     }
 
@@ -323,15 +414,18 @@ impl AtlasConfigBuilder {
     ///
     /// Rejected combinations (each a distinct
     /// [`AtlasError::InvalidConfig`] message): zero threads, a seed
-    /// without shots, zero `max_stages`, a negative Eq. 2 cost factor
+    /// without shots or noise, a noise probability outside `[0, 1]`,
+    /// zero trajectories under noise, zero `max_stages`, a negative
+    /// Eq. 2 cost factor
     /// (zero stays legal as the communication-cost-blind ablation), a
     /// zero beam width under `IlpSearch`, a zero ILP budget
     /// under `GenericIlp`, and a degenerate kernelizer (`Dp` with
     /// `pruning_threshold = 0`, greedy packers with `max_qubits = 0`).
     pub fn build(self) -> Result<AtlasConfig, AtlasError> {
-        if self.seed_set && self.cfg.shots == 0 {
+        if self.seed_set && self.cfg.shots == 0 && self.cfg.noise == 0.0 {
             return Err(AtlasError::invalid_config(format!(
-                "seed {} set without shots: the seed only affects shot sampling",
+                "seed {} set without shots or noise: the seed only affects \
+                 shot sampling and noise-trajectory draws",
                 self.cfg.seed
             )));
         }
@@ -403,6 +497,13 @@ mod tests {
             // An explicit zero seed without shots is still incoherent.
             (AtlasConfig::builder().seed(0), "seed"),
             (AtlasConfig::builder().max_stages(0), "max_stages"),
+            (AtlasConfig::builder().noise(-0.1), "noise"),
+            (AtlasConfig::builder().noise(1.5), "noise"),
+            (AtlasConfig::builder().noise(f64::NAN), "noise"),
+            (
+                AtlasConfig::builder().noise(0.05).trajectories(0),
+                "trajectories",
+            ),
             (
                 AtlasConfig::builder().inter_node_cost_factor(-1),
                 "inter_node_cost_factor",
@@ -449,6 +550,39 @@ mod tests {
                 other => panic!("{builder:?} should be rejected, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn seed_is_coherent_with_noise_alone() {
+        // A noisy run draws trajectory selectors from the seed even with
+        // zero shots, so seed + noise (no shots) must build.
+        let cfg = AtlasConfig::builder()
+            .seed(11)
+            .noise(0.02)
+            .trajectories(4)
+            .build()
+            .unwrap();
+        assert_eq!((cfg.seed, cfg.noise, cfg.trajectories), (11, 0.02, 4));
+        // Boundary probabilities are legal.
+        assert!(AtlasConfig::builder().noise(0.0).build().is_ok());
+        assert!(AtlasConfig::builder().noise(1.0).shots(1).build().is_ok());
+    }
+
+    #[test]
+    fn backend_kind_parses_and_round_trips() {
+        use std::str::FromStr;
+        for kind in [
+            BackendKind::Auto,
+            BackendKind::Statevec,
+            BackendKind::Stabilizer,
+        ] {
+            assert_eq!(BackendKind::from_str(kind.name()).unwrap(), kind);
+        }
+        assert!(matches!(
+            BackendKind::from_str("tensor"),
+            Err(AtlasError::InvalidConfig { .. })
+        ));
+        assert_eq!(BackendKind::default(), BackendKind::Auto);
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! * [`session`] — the typed session API: [`Planner`] compiles a circuit
 //!   once into a [`CompiledPlan`]; the plan executes any number of
 //!   same-structure circuits (plan-once/run-many parameter sweeps).
+//! * [`backend`] — engine dispatch behind the [`SimulatorBackend`]
+//!   trait: all-Clifford circuits route to the `atlas-stabilizer`
+//!   tableau, Clifford prefixes fast-forward on the tableau and hand
+//!   off to the statevector engine, everything else runs the sharded
+//!   statevector path.
+//! * [`noise`] — depolarizing noise as Pauli-twirled stochastic
+//!   trajectories that share one fingerprint (plan-once sweeps).
 //! * [`simulate`](mod@simulate) — the one-shot **SIMULATE** driver, a
 //!   thin shim over the session API.
 //!
@@ -26,16 +33,19 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod config;
 pub mod exec;
 pub mod kernelize;
+pub mod noise;
 pub mod plan;
 pub mod session;
 pub mod simulate;
 pub mod staging;
 
 pub use atlas_error::AtlasError;
-pub use config::{AtlasConfig, AtlasConfigBuilder};
+pub use backend::{BackendPlan, BackendRun, HybridPlan, SimulatorBackend, StabilizerPlan};
+pub use config::{AtlasConfig, AtlasConfigBuilder, BackendKind};
 pub use plan::{Kernel, KernelKind, QubitPartition, Stage, StagedKernels};
 pub use session::{CircuitFingerprint, CompiledPlan, Execution, Planner};
 pub use simulate::{simulate, SimulationOutput};

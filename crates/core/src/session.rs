@@ -230,6 +230,18 @@ impl Planner {
     pub fn plan(&self, circuit: &Circuit) -> Result<CompiledPlan, AtlasError> {
         self.cfg.validate()?;
         let n = circuit.num_qubits();
+        // The sharded engine indexes amplitudes and qubit masks with
+        // `u64`, so 63 qubits is its hard ceiling. Reject wider circuits
+        // with a typed error *before* any mask arithmetic — the circuit
+        // type itself allows thousands of qubits for the stabilizer
+        // backend (`Planner::plan_backend` routes those).
+        if n > 63 {
+            return Err(AtlasError::invalid_config(format!(
+                "{n} qubits exceed the statevector backend's 63-qubit \
+                 limit; all-Clifford circuits this wide run on the \
+                 stabilizer backend (backend = auto or stabilizer)"
+            )));
+        }
         let l = self.spec.local_qubits;
         let g = self.spec.global_qubits();
         if n < l + g {
@@ -333,7 +345,58 @@ impl CompiledPlan {
                 ),
             });
         }
-        let mut machine = Machine::new(self.spec, self.cost.clone(), self.plan.n, false);
+        let machine = Machine::new(self.spec, self.cost.clone(), self.plan.n, false);
+        self.run_on(machine, circuit, false)
+    }
+
+    /// EXECUTE starting from a caller-supplied state instead of
+    /// `|0…0⟩` — the stabilizer→statevector hybrid handoff. `initial`
+    /// is given in the identity qubit layout (index bit `q` = qubit
+    /// `q`); it is loaded into the sharded machine and pre-permuted into
+    /// the plan's stage-0 layout before the kernels run (a fresh
+    /// `|0…0⟩` machine can skip that because the all-zero state is
+    /// layout-invariant).
+    pub fn execute_from(
+        &self,
+        circuit: &Circuit,
+        initial: &StateVector,
+    ) -> Result<Execution, AtlasError> {
+        let fp = CircuitFingerprint::of(circuit);
+        if fp != self.fingerprint {
+            return Err(AtlasError::PlanMismatch {
+                reason: format!(
+                    "circuit hash {:#018x} does not match the planned hash {:#018x}",
+                    fp.hash, self.fingerprint.hash,
+                ),
+            });
+        }
+        if initial.num_qubits() != self.plan.n {
+            return Err(AtlasError::invalid_plan(format!(
+                "initial state has {} qubits, plan expects {}",
+                initial.num_qubits(),
+                self.plan.n
+            )));
+        }
+        let machine = Machine::with_state(self.spec, self.cost.clone(), initial);
+        self.run_on(machine, circuit, true)
+    }
+
+    /// Shared EXECUTE body of [`execute`](CompiledPlan::execute) and
+    /// [`execute_from`](CompiledPlan::execute_from).
+    fn run_on(
+        &self,
+        mut machine: Machine,
+        circuit: &Circuit,
+        permute_in: bool,
+    ) -> Result<Execution, AtlasError> {
+        if permute_in {
+            if let Some(sp0) = self.plan.stages.first() {
+                let perm = atlas_qmath::QubitPermutation::from_map(sp0.mapping.clone());
+                if !perm.is_identity() {
+                    machine.permute_state(&perm, 0);
+                }
+            }
+        }
         exec::execute(&mut machine, circuit, &self.plan, &self.cfg);
         let state = self.cfg.final_unpermute.then(|| machine.gather_state());
         let report = machine.report();

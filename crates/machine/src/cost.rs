@@ -95,7 +95,7 @@ impl CostModel {
             Z | S | Sdg | T | Tdg | RZ(_) | P(_) | CZ | CP(_) | CRZ(_) | RZZ(_) | CCZ => {
                 self.shm_gate_diag_ns
             }
-            H | X | Y | SX | RX(_) | RY(_) | U3(..) => self.shm_gate_1q_ns,
+            H | X | Y | SX | RX(_) | RY(_) | U3(..) | PauliNoise(_) => self.shm_gate_1q_ns,
             CX | CY | CH | CRX(_) | CRY(_) | Swap | RXX(_) => self.shm_gate_2q_ns,
             CCX | CSwap => self.shm_gate_3q_ns,
         }

@@ -15,8 +15,8 @@
 //! * `op` (string, required) — `"plan"`, `"execute"`, `"sample"` or
 //!   `"expect"`.
 //! * Circuit: either `family` (the `atlas-sim --family` names, plus
-//!   `qaoa`/`grover`) with `n` (qubits, default 10), or `qasm` (inline
-//!   OpenQASM-2 source, newlines escaped as `\n`).
+//!   `qaoa`/`grover`/`clifford`) with `n` (qubits, default 10), or
+//!   `qasm` (inline OpenQASM-2 source, newlines escaped as `\n`).
 //! * `shift` (number, optional) — adds `shift` to every gate parameter
 //!   (structure preserved, so shifted points share one cached plan).
 //! * `shots`/`seed` — for `op":"sample"` (shots required, seed
@@ -86,6 +86,7 @@ pub fn parse_job(line: &str) -> Result<JobSpec, String> {
             match name {
                 "qaoa" => generators::qaoa(n),
                 "grover" => generators::grover(n),
+                "clifford" => generators::clifford(n),
                 _ => Family::from_name(name)
                     .ok_or_else(|| format!("unknown family '{name}'"))?
                     .generate(n),

@@ -1,0 +1,780 @@
+//! The bit-packed CHP tableau: gate replay, measurement, sampling,
+//! expectations and the canonical form.
+
+use atlas_circuit::{Circuit, Gate, GateKind};
+use atlas_error::AtlasError;
+use atlas_sampler::CounterRng;
+
+/// A stabilizer tableau over `n` qubits: rows `0..n` are destabilizers,
+/// rows `n..2n` stabilizers, row `2n` is scratch. Each row has `w =
+/// ⌈n/64⌉` X words, `w` Z words and one sign bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tableau {
+    n: usize,
+    w: usize,
+    x: Vec<u64>,
+    z: Vec<u64>,
+    r: Vec<u64>,
+}
+
+#[inline]
+fn get_bit(words: &[u64], q: usize) -> bool {
+    words[q / 64] >> (q % 64) & 1 == 1
+}
+
+#[inline]
+fn flip_bit(words: &mut [u64], q: usize) {
+    words[q / 64] ^= 1u64 << (q % 64);
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], q: usize, v: bool) {
+    let (wd, sh) = (q / 64, q % 64);
+    words[wd] = (words[wd] & !(1u64 << sh)) | ((v as u64) << sh);
+}
+
+/// Word-parallel signed `g`-sum of Aaronson & Gottesman: the exponent
+/// contribution (mod 4) of multiplying source row `(x1, z1)` into
+/// target row `(x2, z2)`. Each qubit contributes `+1`, `0` or `-1`;
+/// the return value is `Σ(+1 bits) − Σ(−1 bits)`.
+fn g_sum(x1: &[u64], z1: &[u64], x2: &[u64], z2: &[u64]) -> i64 {
+    let mut plus = 0i64;
+    let mut minus = 0i64;
+    for wd in 0..x1.len() {
+        let (a, b, c, d) = (x1[wd], z1[wd], x2[wd], z2[wd]);
+        let y1 = a & b; // source Y positions: g = z2 − x2
+        let xo = a & !b; // source X positions: g = z2(2x2 − 1)
+        let zo = !a & b; // source Z positions: g = x2(1 − 2z2)
+        plus += ((y1 & !c & d) | (xo & c & d) | (zo & c & !d)).count_ones() as i64;
+        minus += ((y1 & c & !d) | (xo & !c & d) | (zo & c & d)).count_ones() as i64;
+    }
+    plus - minus
+}
+
+impl Tableau {
+    /// The `|0…0⟩` tableau: destabilizer `j` is `X_j`, stabilizer `j`
+    /// is `Z_j`, all signs `+`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "tableau needs at least one qubit");
+        let w = n.div_ceil(64);
+        let rows = 2 * n + 1;
+        let mut t = Tableau {
+            n,
+            w,
+            x: vec![0u64; rows * w],
+            z: vec![0u64; rows * w],
+            r: vec![0u64; rows.div_ceil(64)],
+        };
+        for j in 0..n {
+            set_bit(&mut t.x[j * w..(j + 1) * w], j, true);
+            set_bit(&mut t.z[(n + j) * w..(n + j + 1) * w], j, true);
+        }
+        t
+    }
+
+    /// Replays an all-Clifford circuit from `|0…0⟩`.
+    pub fn from_circuit(c: &Circuit) -> Result<Self, AtlasError> {
+        let mut t = Tableau::new(c.num_qubits() as usize);
+        t.apply_circuit(c)?;
+        Ok(t)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// Words per sample bitstring (`⌈n/64⌉`).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.w
+    }
+
+    #[inline]
+    fn get_x(&self, row: usize, q: usize) -> bool {
+        get_bit(&self.x[row * self.w..], q)
+    }
+
+    #[inline]
+    fn get_z(&self, row: usize, q: usize) -> bool {
+        get_bit(&self.z[row * self.w..], q)
+    }
+
+    #[inline]
+    fn get_r(&self, row: usize) -> bool {
+        get_bit(&self.r, row)
+    }
+
+    #[inline]
+    fn set_r(&mut self, row: usize, v: bool) {
+        set_bit(&mut self.r, row, v);
+    }
+
+    // ---- gate primitives (Aaronson & Gottesman Table 1) ----
+
+    /// Hadamard on `a`.
+    pub fn h(&mut self, a: usize) {
+        for row in 0..2 * self.n {
+            let o = row * self.w;
+            let xa = get_bit(&self.x[o..], a);
+            let za = get_bit(&self.z[o..], a);
+            if xa && za {
+                flip_bit(&mut self.r, row);
+            }
+            set_bit(&mut self.x[o..], a, za);
+            set_bit(&mut self.z[o..], a, xa);
+        }
+    }
+
+    /// Phase gate S on `a`.
+    pub fn s(&mut self, a: usize) {
+        for row in 0..2 * self.n {
+            let o = row * self.w;
+            let xa = get_bit(&self.x[o..], a);
+            let za = get_bit(&self.z[o..], a);
+            if xa && za {
+                flip_bit(&mut self.r, row);
+            }
+            if xa {
+                flip_bit(&mut self.z[o..], a);
+            }
+        }
+    }
+
+    /// S† on `a` (conjugation `X → −Y`, `Y → X`).
+    pub fn sdg(&mut self, a: usize) {
+        for row in 0..2 * self.n {
+            let o = row * self.w;
+            let xa = get_bit(&self.x[o..], a);
+            let za = get_bit(&self.z[o..], a);
+            if xa && !za {
+                flip_bit(&mut self.r, row);
+            }
+            if xa {
+                flip_bit(&mut self.z[o..], a);
+            }
+        }
+    }
+
+    /// Pauli-X on `a` (flips the sign of rows with a Z or Y there).
+    pub fn x_gate(&mut self, a: usize) {
+        for row in 0..2 * self.n {
+            if self.get_z(row, a) {
+                flip_bit(&mut self.r, row);
+            }
+        }
+    }
+
+    /// Pauli-Z on `a`.
+    pub fn z_gate(&mut self, a: usize) {
+        for row in 0..2 * self.n {
+            if self.get_x(row, a) {
+                flip_bit(&mut self.r, row);
+            }
+        }
+    }
+
+    /// Pauli-Y on `a`.
+    pub fn y_gate(&mut self, a: usize) {
+        for row in 0..2 * self.n {
+            if self.get_x(row, a) ^ self.get_z(row, a) {
+                flip_bit(&mut self.r, row);
+            }
+        }
+    }
+
+    /// √X on `a` (`= H·S·H` exactly, no global-phase correction needed
+    /// at the tableau level).
+    pub fn sx(&mut self, a: usize) {
+        self.h(a);
+        self.s(a);
+        self.h(a);
+    }
+
+    /// CNOT with control `a`, target `b`.
+    pub fn cx(&mut self, a: usize, b: usize) {
+        for row in 0..2 * self.n {
+            let o = row * self.w;
+            let xa = get_bit(&self.x[o..], a);
+            let zb = get_bit(&self.z[o..], b);
+            let xb = get_bit(&self.x[o..], b);
+            let za = get_bit(&self.z[o..], a);
+            if xa && zb && (xb == za) {
+                flip_bit(&mut self.r, row);
+            }
+            if xa {
+                flip_bit(&mut self.x[o..], b);
+            }
+            if zb {
+                flip_bit(&mut self.z[o..], a);
+            }
+        }
+    }
+
+    /// CZ on `a`, `b`.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.h(b);
+        self.cx(a, b);
+        self.h(b);
+    }
+
+    /// CY with control `a`, target `b` (`S_b · CX · S†_b`).
+    pub fn cy(&mut self, a: usize, b: usize) {
+        self.sdg(b);
+        self.cx(a, b);
+        self.s(b);
+    }
+
+    /// SWAP of `a`, `b`.
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cx(a, b);
+        self.cx(b, a);
+        self.cx(a, b);
+    }
+
+    /// Applies one gate; errors on a non-Clifford kind.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), AtlasError> {
+        let q = gate.qubits.as_slice();
+        match gate.kind {
+            GateKind::H => self.h(q[0] as usize),
+            GateKind::X => self.x_gate(q[0] as usize),
+            GateKind::Y => self.y_gate(q[0] as usize),
+            GateKind::Z => self.z_gate(q[0] as usize),
+            GateKind::S => self.s(q[0] as usize),
+            GateKind::Sdg => self.sdg(q[0] as usize),
+            GateKind::SX => self.sx(q[0] as usize),
+            GateKind::CX => self.cx(q[0] as usize, q[1] as usize),
+            GateKind::CY => self.cy(q[0] as usize, q[1] as usize),
+            GateKind::CZ => self.cz(q[0] as usize, q[1] as usize),
+            GateKind::Swap => self.swap(q[0] as usize, q[1] as usize),
+            GateKind::PauliNoise(sel) => match GateKind::pauli_noise_select(sel) {
+                0 => {}
+                1 => self.x_gate(q[0] as usize),
+                2 => self.y_gate(q[0] as usize),
+                _ => self.z_gate(q[0] as usize),
+            },
+            other => {
+                return Err(AtlasError::invalid_plan(format!(
+                    "non-Clifford gate '{}' reached the stabilizer backend",
+                    other.name()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays every gate of `c` in order.
+    pub fn apply_circuit(&mut self, c: &Circuit) -> Result<(), AtlasError> {
+        assert_eq!(c.num_qubits() as usize, self.n, "qubit count mismatch");
+        for g in c.gates() {
+            self.apply(g)?;
+        }
+        Ok(())
+    }
+
+    // ---- row algebra ----
+
+    /// Left-multiplies row `i` into row `h` (`row_h ← row_i · row_h`),
+    /// with exact sign tracking.
+    fn rowsum(&mut self, h: usize, i: usize) {
+        let (ho, io) = (h * self.w, i * self.w);
+        let e = 2 * (self.get_r(h) as i64 + self.get_r(i) as i64)
+            + g_sum(
+                &self.x[io..io + self.w],
+                &self.z[io..io + self.w],
+                &self.x[ho..ho + self.w],
+                &self.z[ho..ho + self.w],
+            );
+        let m = e.rem_euclid(4);
+        // Stabilizer and scratch rows only ever multiply commuting
+        // Paulis, so their phase stays real. Destabilizer rows (h < n)
+        // can anticommute with the collapsing stabilizer during
+        // measurement and pick up a ±i phase; their sign bit is never
+        // read (destabilizers only drive anticommutation *selection*),
+        // so the odd phase folds into the same deterministic rule.
+        debug_assert!(
+            h < self.n || m == 0 || m == 2,
+            "stabilizer row product must square to +1"
+        );
+        self.set_r(h, m == 2);
+        for wd in 0..self.w {
+            self.x[ho + wd] ^= self.x[io + wd];
+            self.z[ho + wd] ^= self.z[io + wd];
+        }
+    }
+
+    fn zero_scratch(&mut self) {
+        let o = 2 * self.n * self.w;
+        self.x[o..o + self.w].fill(0);
+        self.z[o..o + self.w].fill(0);
+        self.set_r(2 * self.n, false);
+    }
+
+    // ---- measurement ----
+
+    /// Measures qubit `a` in the Z basis. When the outcome is random
+    /// (a stabilizer anticommutes with `Z_a`), `draw` supplies the
+    /// outcome bit; deterministic outcomes consume no randomness.
+    /// Returns `(outcome, was_random)`.
+    pub fn measure_with(&mut self, a: usize, mut draw: impl FnMut() -> bool) -> (bool, bool) {
+        match (self.n..2 * self.n).find(|&i| self.get_x(i, a)) {
+            Some(p) => {
+                let outcome = draw();
+                self.collapse(p, a, outcome);
+                (outcome, true)
+            }
+            None => (self.deterministic_outcome(a), false),
+        }
+    }
+
+    /// Measures qubit `a` *forcing* the outcome `want`, returning the
+    /// probability of that branch: `0.5` when the outcome was random,
+    /// `1.0` when it was already determined as `want`, `0.0` when
+    /// impossible (the tableau is left unchanged in that last case).
+    pub fn measure_forced(&mut self, a: usize, want: bool) -> f64 {
+        match (self.n..2 * self.n).find(|&i| self.get_x(i, a)) {
+            Some(p) => {
+                self.collapse(p, a, want);
+                0.5
+            }
+            None => {
+                if self.deterministic_outcome(a) == want {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The A&G random-outcome collapse: `p` is a stabilizer row with
+    /// `x_a` set.
+    fn collapse(&mut self, p: usize, a: usize, outcome: bool) {
+        for i in 0..2 * self.n {
+            if i != p && self.get_x(i, a) {
+                self.rowsum(i, p);
+            }
+        }
+        // The old stabilizer p becomes the destabilizer of the new
+        // `Z_a` stabilizer.
+        let (po, dst) = (p * self.w, (p - self.n) * self.w);
+        for wd in 0..self.w {
+            self.x[dst + wd] = self.x[po + wd];
+            self.z[dst + wd] = self.z[po + wd];
+        }
+        let rp = self.get_r(p);
+        self.set_r(p - self.n, rp);
+        self.x[po..po + self.w].fill(0);
+        self.z[po..po + self.w].fill(0);
+        set_bit(&mut self.z[po..po + self.w], a, true);
+        self.set_r(p, outcome);
+    }
+
+    /// The deterministic measurement outcome of qubit `a` (caller has
+    /// checked no stabilizer anticommutes with `Z_a`): accumulate into
+    /// scratch the stabilizer product whose Z-part hits `a`.
+    fn deterministic_outcome(&mut self, a: usize) -> bool {
+        self.zero_scratch();
+        for j in 0..self.n {
+            if self.get_x(j, a) {
+                self.rowsum(2 * self.n, j + self.n);
+            }
+        }
+        self.get_r(2 * self.n)
+    }
+
+    // ---- sampling ----
+
+    /// Draws shot number `shot` as a bit-packed word vector (bit `q` of
+    /// word `q/64` is qubit `q`). The shot is a pure function of
+    /// `(rng, shot)` — identical on every thread count and schedule —
+    /// because the per-shot stream is `rng.split(shot)` and outcomes
+    /// are drawn at sequential counters on a private tableau clone.
+    pub fn sample_words(&self, rng: &CounterRng, shot: u64) -> Vec<u64> {
+        let stream = rng.split(shot);
+        let mut t = self.clone();
+        let mut counter = 0u64;
+        let mut out = vec![0u64; self.w];
+        for q in 0..self.n {
+            let (bit, _) = t.measure_with(q, || {
+                let b = stream.u64_at(counter) & 1 == 1;
+                counter += 1;
+                b
+            });
+            if bit {
+                set_bit(&mut out, q, true);
+            }
+        }
+        out
+    }
+
+    /// [`Tableau::sample_words`] narrowed to `n ≤ 64`.
+    pub fn sample_u64(&self, rng: &CounterRng, shot: u64) -> u64 {
+        assert!(self.n <= 64, "sample_u64 requires n ≤ 64");
+        self.sample_words(rng, shot)[0]
+    }
+
+    // ---- exact queries ----
+
+    /// Probability of the basis state whose bits are packed in `bits`
+    /// (same layout as [`Tableau::sample_words`]): the product of
+    /// forced-measurement branch probabilities, i.e. exactly `2^{-k}`
+    /// on the state's support and `0` off it.
+    pub fn probability_of_bits(&self, bits: &[u64]) -> f64 {
+        let mut t = self.clone();
+        let mut p = 1.0;
+        for q in 0..self.n {
+            let pq = t.measure_forced(q, get_bit(bits, q));
+            if pq == 0.0 {
+                return 0.0;
+            }
+            p *= pq;
+        }
+        p
+    }
+
+    /// [`Tableau::probability_of_bits`] for `n ≤ 64` basis indices.
+    pub fn probability(&self, index: u64) -> f64 {
+        assert!(self.n <= 64, "probability(u64) requires n ≤ 64");
+        self.probability_of_bits(&[index])
+    }
+
+    /// Probability that measuring qubit `q` yields `1`: `(1 − ⟨Z_q⟩)/2`
+    /// computed from the exact single-qubit expectation.
+    pub fn marginal_one_prob(&self, q: usize) -> f64 {
+        let mut pz = vec![0u64; self.w];
+        set_bit(&mut pz, q, true);
+        (1.0 - self.expectation_xz(&vec![0u64; self.w], &pz)) / 2.0
+    }
+
+    /// Expectation of the Pauli string given as X/Z bit masks over the
+    /// qubits (a set bit in both = `Y`). Exact: `−1`, `0` or `+1`.
+    pub fn expectation_xz(&self, px: &[u64], pz: &[u64]) -> f64 {
+        assert_eq!(px.len(), self.w);
+        assert_eq!(pz.len(), self.w);
+        let sym = |row: usize| {
+            let o = row * self.w;
+            let mut s = 0u32;
+            for wd in 0..self.w {
+                s ^=
+                    (self.x[o + wd] & pz[wd]).count_ones() ^ (self.z[o + wd] & px[wd]).count_ones();
+            }
+            s & 1 == 1
+        };
+        // Anticommuting with any stabilizer generator ⇒ ⟨P⟩ = 0.
+        for srow in self.n..2 * self.n {
+            if sym(srow) {
+                return 0.0;
+            }
+        }
+        // Otherwise ±P is a product of stabilizer generators; generator
+        // j participates iff P anticommutes with destabilizer j.
+        let picks: Vec<usize> = (0..self.n).filter(|&j| sym(j)).collect();
+        let mut t = self.clone();
+        t.zero_scratch();
+        for j in picks {
+            t.rowsum(2 * self.n, j + self.n);
+        }
+        let o = 2 * self.n * self.w;
+        debug_assert!(
+            t.x[o..o + self.w] == *px && t.z[o..o + self.w] == *pz,
+            "decomposition must reproduce the Pauli string exactly"
+        );
+        if t.get_r(2 * self.n) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Expectation of a [`PauliString`](atlas_sampler::PauliString)
+    /// (must span exactly `n` qubits).
+    pub fn expectation(&self, p: &atlas_sampler::PauliString) -> f64 {
+        assert_eq!(p.num_qubits() as usize, self.n, "Pauli string width");
+        let mut px = vec![0u64; self.w];
+        let mut pz = vec![0u64; self.w];
+        for q in 0..self.n {
+            use atlas_sampler::PauliOp;
+            match p.op(q as u32) {
+                PauliOp::I => {}
+                PauliOp::X => set_bit(&mut px, q, true),
+                PauliOp::Y => {
+                    set_bit(&mut px, q, true);
+                    set_bit(&mut pz, q, true);
+                }
+                PauliOp::Z => set_bit(&mut pz, q, true),
+            }
+        }
+        self.expectation_xz(&px, &pz)
+    }
+
+    // ---- canonical form ----
+
+    /// The unique row-reduced stabilizer generator set, sign-tracked:
+    /// Gaussian elimination over the `(X | Z)` bit matrix with X
+    /// columns first. Two tableaux describe the same quantum state iff
+    /// their canonical stabilizer sets are equal — a width-independent
+    /// equality predicate (each row is `(x_words, z_words, sign)`).
+    pub fn canonical_stabilizers(&self) -> Vec<(Vec<u64>, Vec<u64>, bool)> {
+        let (n, w) = (self.n, self.w);
+        let mut rows: Vec<(Vec<u64>, Vec<u64>, bool)> = (n..2 * n)
+            .map(|i| {
+                (
+                    self.x[i * w..(i + 1) * w].to_vec(),
+                    self.z[i * w..(i + 1) * w].to_vec(),
+                    self.get_r(i),
+                )
+            })
+            .collect();
+        let mul_into = |rows: &mut Vec<(Vec<u64>, Vec<u64>, bool)>, h: usize, i: usize| {
+            let (src_x, src_z, src_r) = (rows[i].0.clone(), rows[i].1.clone(), rows[i].2);
+            let e = 2 * (rows[h].2 as i64 + src_r as i64)
+                + g_sum(&src_x, &src_z, &rows[h].0, &rows[h].1);
+            let m = e.rem_euclid(4);
+            debug_assert!(m == 0 || m == 2);
+            rows[h].2 = m == 2;
+            for wd in 0..src_x.len() {
+                rows[h].0[wd] ^= src_x[wd];
+                rows[h].1[wd] ^= src_z[wd];
+            }
+        };
+        let mut rank = 0usize;
+        for q in 0..n {
+            if let Some(p) = (rank..n).find(|&i| get_bit(&rows[i].0, q)) {
+                rows.swap(rank, p);
+                for i in 0..n {
+                    if i != rank && get_bit(&rows[i].0, q) {
+                        mul_into(&mut rows, i, rank);
+                    }
+                }
+                rank += 1;
+            }
+        }
+        for q in 0..n {
+            if let Some(p) = (rank..n).find(|&i| get_bit(&rows[i].1, q)) {
+                rows.swap(rank, p);
+                for i in 0..n {
+                    if i != rank && get_bit(&rows[i].1, q) && rows[i].0.iter().all(|&v| v == 0) {
+                        mul_into(&mut rows, i, rank);
+                    }
+                }
+                // Also clear this Z column from the X-pivot rows so the
+                // form is fully reduced (multiplying by a Z-only row
+                // leaves their X-part, hence their pivots, intact).
+                for i in 0..n {
+                    if i != rank && get_bit(&rows[i].1, q) && rows[i].0.iter().any(|&v| v != 0) {
+                        mul_into(&mut rows, i, rank);
+                    }
+                }
+                rank += 1;
+            }
+        }
+        rows
+    }
+
+    /// `true` iff this tableau describes `|0…0⟩` (canonical stabilizers
+    /// are exactly `+Z_q` for every qubit).
+    pub fn is_zero_state(&self) -> bool {
+        let rows = self.canonical_stabilizers();
+        rows.iter().enumerate().all(|(q, (x, z, r))| {
+            !*r && x.iter().all(|&v| v == 0) && (0..self.n).all(|j| get_bit(z, j) == (j == q))
+        })
+    }
+}
+
+/// The inverse of an all-Clifford circuit: gates reversed, each
+/// replaced by its inverse within the Clifford alphabet (`SX†` expands
+/// to `H·S†·H`). Errors on a non-Clifford gate.
+pub fn inverse_circuit(c: &Circuit) -> Result<Circuit, AtlasError> {
+    let mut inv = Circuit::named(c.num_qubits(), format!("{}_dag", c.name()));
+    for g in c.gates().iter().rev() {
+        let qs = g.qubits.as_slice();
+        match g.kind {
+            GateKind::H
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::CX
+            | GateKind::CY
+            | GateKind::CZ
+            | GateKind::Swap
+            | GateKind::PauliNoise(_) => {
+                inv.push(*g);
+            }
+            GateKind::S => {
+                inv.add(GateKind::Sdg, qs);
+            }
+            GateKind::Sdg => {
+                inv.add(GateKind::S, qs);
+            }
+            GateKind::SX => {
+                inv.add(GateKind::H, qs);
+                inv.add(GateKind::Sdg, qs);
+                inv.add(GateKind::H, qs);
+            }
+            other => {
+                return Err(AtlasError::invalid_plan(format!(
+                    "cannot invert non-Clifford gate '{}'",
+                    other.name()
+                )))
+            }
+        }
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atlas_circuit::generators;
+    use atlas_sampler::{PauliOp, PauliString};
+
+    fn bell() -> Tableau {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        Tableau::from_circuit(&c).unwrap()
+    }
+
+    #[test]
+    fn zero_state_measures_deterministically_zero() {
+        let mut t = Tableau::new(3);
+        for q in 0..3 {
+            let (bit, random) = t.measure_with(q, || panic!("deterministic"));
+            assert!(!bit);
+            assert!(!random);
+        }
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let t = bell();
+        assert_eq!(t.expectation(&PauliString::parse("ZZ").unwrap()), 1.0);
+        assert_eq!(t.expectation(&PauliString::parse("XX").unwrap()), 1.0);
+        assert_eq!(t.expectation(&PauliString::parse("YY").unwrap()), -1.0);
+        assert_eq!(t.expectation(&PauliString::parse("ZI").unwrap()), 0.0);
+        assert_eq!(t.expectation(&PauliString::parse("IX").unwrap()), 0.0);
+        assert_eq!(t.probability(0b00), 0.5);
+        assert_eq!(t.probability(0b11), 0.5);
+        assert_eq!(t.probability(0b01), 0.0);
+        assert_eq!(t.probability(0b10), 0.0);
+        assert_eq!(t.marginal_one_prob(0), 0.5);
+    }
+
+    #[test]
+    fn bell_samples_are_perfectly_correlated_and_deterministic() {
+        let t = bell();
+        let rng = CounterRng::new(42);
+        let mut seen = [false; 2];
+        for shot in 0..64 {
+            let s = t.sample_u64(&rng, shot);
+            assert!(s == 0b00 || s == 0b11, "shot {shot} drew {s:#b}");
+            seen[(s == 0b11) as usize] = true;
+            assert_eq!(s, t.sample_u64(&rng, shot), "same (seed, shot) must repeat");
+        }
+        assert!(
+            seen[0] && seen[1],
+            "both outcomes should appear in 64 shots"
+        );
+    }
+
+    #[test]
+    fn s_gate_turns_plus_into_y_eigenstate() {
+        let mut c = Circuit::new(1);
+        c.h(0).add(GateKind::S, &[0]);
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(
+            t.expectation(&PauliString::from_ops(1, &[(0, PauliOp::Y)])),
+            1.0
+        );
+    }
+
+    #[test]
+    fn measurement_collapses_ghz_partner_qubits() {
+        let mut t = Tableau::from_circuit(&generators::ghz(3)).unwrap();
+        let (b0, random) = t.measure_with(0, || true);
+        assert!(random && b0);
+        for q in 1..3 {
+            let (b, random) = t.measure_with(q, || panic!("collapsed"));
+            assert!(b, "GHZ partners must agree");
+            assert!(!random);
+        }
+    }
+
+    #[test]
+    fn clifford_then_inverse_restores_zero_state() {
+        for n in [2u32, 5, 9] {
+            let c = generators::clifford(n);
+            let inv = inverse_circuit(&c).unwrap();
+            let mut t = Tableau::from_circuit(&c).unwrap();
+            assert!(!t.is_zero_state(), "clifford({n}) should move the state");
+            t.apply_circuit(&inv).unwrap();
+            assert!(t.is_zero_state(), "C·C† must restore |0…0⟩ at n={n}");
+        }
+    }
+
+    #[test]
+    fn wide_ghz_chain_works_past_the_statevector_bound() {
+        let n = 200u32;
+        let t = Tableau::from_circuit(&generators::ghz(n)).unwrap();
+        // ⟨Z_0 Z_199⟩ = 1 on GHZ.
+        let zz = PauliString::from_ops(n, &[(0, PauliOp::Z), (n - 1, PauliOp::Z)]);
+        assert_eq!(t.expectation(&zz), 1.0);
+        assert_eq!(
+            t.expectation(&PauliString::from_ops(n, &[(7, PauliOp::Z)])),
+            0.0
+        );
+        let rng = CounterRng::new(7);
+        for shot in 0..16 {
+            let words = t.sample_words(&rng, shot);
+            assert_eq!(words.len(), 4);
+            let first = words[0] & 1 == 1;
+            let want = if first {
+                [u64::MAX, u64::MAX, u64::MAX, 0xFF]
+            } else {
+                [0, 0, 0, 0]
+            };
+            assert_eq!(words, want, "GHZ shot must be all-0 or all-1");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_representation_independent() {
+        // Prepare the same state (|00⟩ + |11⟩)/√2 two different ways.
+        let a = bell();
+        let mut c2 = Circuit::new(2);
+        // H(1); CX(1,0) prepares the same Bell state.
+        c2.h(1).cx(1, 0);
+        let b = Tableau::from_circuit(&c2).unwrap();
+        assert_ne!(a, b, "raw tableaux differ");
+        assert_eq!(a.canonical_stabilizers(), b.canonical_stabilizers());
+        // And a genuinely different state disagrees.
+        let mut c3 = Circuit::new(2);
+        c3.h(0).cx(0, 1).z(0);
+        let d = Tableau::from_circuit(&c3).unwrap();
+        assert_ne!(a.canonical_stabilizers(), d.canonical_stabilizers());
+    }
+
+    #[test]
+    fn pauli_noise_slots_replay_as_paulis() {
+        let mut c = Circuit::new(1);
+        c.add(GateKind::PauliNoise(1.0), &[0]); // X
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.probability(1), 1.0);
+        let mut c = Circuit::new(1);
+        c.h(0).add(GateKind::PauliNoise(3.0), &[0]).h(0); // HZH = X
+        let t = Tableau::from_circuit(&c).unwrap();
+        assert_eq!(t.probability(1), 1.0);
+    }
+
+    #[test]
+    fn non_clifford_gate_is_a_typed_error() {
+        let mut c = Circuit::new(1);
+        c.t(0);
+        match Tableau::from_circuit(&c) {
+            Err(AtlasError::InvalidPlan { reason }) => assert!(reason.contains("t")),
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+        assert!(inverse_circuit(&c).is_err());
+    }
+}

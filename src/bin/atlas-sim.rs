@@ -29,7 +29,9 @@
 
 use atlas::baselines;
 use atlas::circuit::qasm;
+use atlas::core::config::BackendKind;
 use atlas::core::session::Planner;
+use atlas::core::{noise, BackendRun, SimulatorBackend};
 use atlas::prelude::*;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -72,6 +74,17 @@ struct Args {
     threads_set: bool,
     /// `-L` appeared explicitly (serve has no circuit to default from).
     l_set: bool,
+    /// `--backend`: which engine runs the circuit (default auto).
+    backend: BackendKind,
+    /// `--backend` appeared explicitly (conflict checks).
+    backend_set: bool,
+    /// `--noise p`: depolarizing strength; > 0 switches to the
+    /// Pauli-twirled stochastic-trajectory path.
+    noise: f64,
+    /// `--trajectories k`: trajectory count for `--noise` runs.
+    trajectories: usize,
+    /// `--trajectories` appeared explicitly (conflict checks).
+    trajectories_set: bool,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -83,9 +96,23 @@ USAGE:
 
 CIRCUIT:
     --family <name>     ae|dj|ghz|graphstate|ising|qft|qpeexact|qsvm|
-                        su2random|vqc|wstate|hhl|qaoa|grover
+                        su2random|vqc|wstate|hhl|qaoa|grover|clifford
     -n <qubits>         circuit size (default 10)
     --qasm <file>       read an OpenQASM-2 subset file instead
+
+BACKEND:
+    --backend <name>    auto|statevec|stabilizer (default auto). auto
+                        keeps the exact sharded statevector engine for
+                        anything it can execute and diverts all-Clifford
+                        circuits beyond the functional limit to the CHP
+                        stabilizer tableau (any n); stabilizer forces
+                        the tableau (all-Clifford circuits only)
+    --noise <p>         depolarizing noise of strength p after every
+                        gate, simulated as Pauli-twirled stochastic
+                        trajectories sharing ONE compiled plan; output
+                        is deterministic for a fixed --seed on any
+                        --threads; needs --shots and/or --expect
+    --trajectories <k>  trajectory count for --noise runs (default 8)
 
 MACHINE (simulated):
     --nodes <k>         number of nodes, power of two      (default 1)
@@ -130,9 +157,11 @@ SERVE (multi-tenant session pool; NDJSON stdin -> stdout):
     --cache <k>         compiled-plan LRU cache capacity (default 32)
 
 --dry and --plan contradict --top/--shots/--seed/--expect, --baseline
-contradicts --shots/--seed/--expect, and --sweep contradicts
---dry/--plan/--baseline; serve contradicts every circuit, mode and
-measurement flag; such combinations are rejected with exit code 2.
+contradicts --shots/--seed/--expect/--backend, --sweep contradicts
+--dry/--plan/--baseline, --backend stabilizer and --noise contradict
+the clock-model flags (--dry/--plan/--sweep/--profile); serve
+contradicts every circuit, mode and measurement flag; such
+combinations are rejected with exit code 2.
 
 EXIT CODES:
     0 success                 4 staging failed
@@ -168,6 +197,11 @@ fn parse_args() -> Result<Args, String> {
         cache: 32,
         threads_set: false,
         l_set: false,
+        backend: BackendKind::Auto,
+        backend_set: false,
+        noise: 0.0,
+        trajectories: 8,
+        trajectories_set: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -218,6 +252,19 @@ fn parse_args() -> Result<Args, String> {
                 args.seed_set = true;
             }
             "--expect" => args.expect.push(take(&mut i)?),
+            "--backend" => {
+                args.backend = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--backend: {e}"))?;
+                args.backend_set = true;
+            }
+            "--noise" => args.noise = take(&mut i)?.parse().map_err(|e| format!("--noise: {e}"))?,
+            "--trajectories" => {
+                args.trajectories = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--trajectories: {e}"))?;
+                args.trajectories_set = true;
+            }
             "--sweep" => args.sweep = take(&mut i)?.parse().map_err(|e| format!("--sweep: {e}"))?,
             "--profile" => args.profile = true,
             "-h" | "--help" => {
@@ -274,6 +321,11 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
                 measurement_flags(args)
             ));
         }
+        if args.backend_set || args.noise > 0.0 || args.trajectories_set {
+            return Err("serve jobs run on the pool's own plans; serve contradicts \
+                 --backend/--noise/--trajectories"
+                .to_string());
+        }
         if !args.l_set {
             return Err("serve needs an explicit -L (each job line carries its own \
                  circuit, so there is no -n to default from)"
@@ -323,8 +375,40 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
     if args.profile && args.plan_only {
         return Err("--plan stops before execution; it contradicts --profile".to_string());
     }
-    // Note: --seed without --shots is now rejected by the AtlasConfig
-    // builder (an InvalidConfig), not by an ad-hoc flag check here.
+    if args.backend_set && args.baseline.is_some() {
+        return Err(
+            "--baseline comparators bypass the backend dispatch; it contradicts --backend"
+                .to_string(),
+        );
+    }
+    if args.backend == BackendKind::Stabilizer
+        && (args.dry || args.plan_only || args.sweep > 0 || args.profile)
+    {
+        return Err("--backend stabilizer runs functionally on the tableau; it \
+             contradicts --dry/--plan/--sweep/--profile"
+            .to_string());
+    }
+    if args.noise > 0.0 {
+        if args.dry || args.plan_only || args.baseline.is_some() || args.sweep > 0 || args.profile {
+            return Err("--noise draws stochastic trajectories; it contradicts \
+                 --dry/--plan/--baseline/--sweep/--profile"
+                .to_string());
+        }
+        if args.top_set {
+            return Err(
+                "--noise reports aggregated shot counts, not exact amplitudes; \
+                 it contradicts --top"
+                    .to_string(),
+            );
+        }
+        if args.shots == 0 && args.expect.is_empty() {
+            return Err("--noise has nothing to report without --shots or --expect".to_string());
+        }
+    } else if args.trajectories_set {
+        return Err("--trajectories applies to --noise runs only".to_string());
+    }
+    // Note: --seed without --shots (or --noise) is rejected by the
+    // AtlasConfig builder (an InvalidConfig), not by a flag check here.
     Ok(())
 }
 
@@ -361,6 +445,7 @@ fn build_circuit(args: &Args) -> Result<Circuit, String> {
     match name {
         "qaoa" => return Ok(atlas::circuit::generators::qaoa(args.n)),
         "grover" => return Ok(atlas::circuit::generators::grover(args.n)),
+        "clifford" => return Ok(atlas::circuit::generators::clifford(args.n)),
         _ => {}
     }
     let fam = Family::from_name(name).ok_or_else(|| format!("unknown family '{name}'"))?;
@@ -499,7 +584,10 @@ fn main() -> ExitCode {
     // Coherence rules live in the AtlasConfig builder, not here.
     let mut builder = AtlasConfig::builder()
         .threads(args.threads)
-        .shots(args.shots);
+        .shots(args.shots)
+        .backend(args.backend)
+        .noise(args.noise)
+        .trajectories(args.trajectories);
     if args.seed_set {
         builder = builder.seed(args.seed);
     }
@@ -523,6 +611,33 @@ fn main() -> ExitCode {
                 return error_exit(&e);
             }
         }
+    }
+    // Engine dispatch. The statevector path below stays the default and
+    // is byte-identical to previous releases; the tableau path takes
+    // over when `--backend stabilizer` forces it, or when auto dispatch
+    // meets an all-Clifford circuit too wide for a functional
+    // statevector run (where the only legacy option was --dry).
+    let clifford = circuit.is_clifford();
+    if args.noise > 0.0 {
+        if !clifford && n > 26 {
+            return usage_error(&format!(
+                "n = {n} exceeds the functional limit (26) and the circuit is \
+                 not all-Clifford; --noise needs a functional engine"
+            ));
+        }
+        return run_noisy_path(&args, &circuit, cfg, &paulis);
+    }
+    let use_stabilizer = args.backend == BackendKind::Stabilizer
+        || (args.backend == BackendKind::Auto
+            && clifford
+            && n > 26
+            && !args.dry
+            && !args.plan_only
+            && args.baseline.is_none()
+            && args.sweep == 0
+            && !args.profile);
+    if use_stabilizer {
+        return run_stabilizer_path(&args, &circuit, cfg, &paulis);
     }
     let spec = MachineSpec {
         nodes: args.nodes,
@@ -550,17 +665,7 @@ fn main() -> ExitCode {
         eprintln!("note: n = {n} exceeds the functional limit; switching to --dry");
     }
 
-    println!(
-        "circuit {} : {} qubits, {} gates, depth {}",
-        if circuit.name().is_empty() {
-            "<qasm>"
-        } else {
-            circuit.name()
-        },
-        n,
-        circuit.num_gates(),
-        circuit.depth()
-    );
+    print_circuit_banner(&circuit, n);
     println!(
         "machine : {} node(s) x {} GPU(s), L={} ({} shard(s)){}",
         spec.nodes,
@@ -696,6 +801,226 @@ fn main() -> ExitCode {
     }
     print_measurements(&run.measurements, run.samples, &args, &paulis, n);
     ExitCode::SUCCESS
+}
+
+/// The stabilizer (CHP tableau) functional path: no machine shape, no
+/// staging — `plan_backend` fingerprints the circuit and `run` replays
+/// it on the tableau in polynomial time. Reached when `--backend
+/// stabilizer` forces it or when auto dispatch meets an all-Clifford
+/// circuit beyond the statevector functional limit.
+fn run_stabilizer_path(
+    args: &Args,
+    circuit: &Circuit,
+    cfg: AtlasConfig,
+    paulis: &[PauliString],
+) -> ExitCode {
+    let n = circuit.num_qubits();
+    if args.top_set && n > 30 {
+        return usage_error(&format!(
+            "--top enumerates amplitudes through the tableau->statevector \
+             conversion (n <= 30); n = {n} supports --shots/--expect only"
+        ));
+    }
+    // The tableau needs no machine, but the Planner does: a minimal
+    // single-GPU spec keeps MachineSpec invariants satisfied at any n.
+    let planner = Planner::new(
+        MachineSpec::single_gpu(n.min(26)),
+        CostModel::default(),
+        cfg,
+    );
+    let plan = match planner.plan_backend(circuit) {
+        Ok(p) => p,
+        Err(e) => return error_exit(&e),
+    };
+    print_circuit_banner(circuit, n);
+    println!(
+        "backend : stabilizer (CHP tableau, {} word(s)/row; no machine shape)",
+        (n as usize).div_ceil(64)
+    );
+    let t_run = Instant::now();
+    let run = match plan.run(circuit) {
+        Ok(r) => r,
+        Err(e) => return error_exit(&e),
+    };
+    eprintln!(
+        "tableau : replayed {} gate(s) in {:.3} s",
+        circuit.num_gates(),
+        t_run.elapsed().as_secs_f64()
+    );
+    for p in paulis {
+        println!("expect  : <{p}> = {:.9}", run.expectation(p));
+    }
+    if let Some(samples) = run.samples_words() {
+        let shots = samples.len();
+        println!("shots   : {shots} (seed {})", args.seed);
+        print_word_counts(&count_word_samples(samples), shots, n);
+    }
+    // Same default-readout rule as the statevector path: top outcomes
+    // unless shots/expectations were explicitly requested.
+    if args.top_set || (args.shots == 0 && paulis.is_empty()) {
+        let BackendRun::Stabilizer(ref srun) = run else {
+            unreachable!("stabilizer path produced a statevector run");
+        };
+        if n <= 30 {
+            let state = match srun.tableau.to_statevector() {
+                Ok(s) => s,
+                Err(e) => return error_exit(&e),
+            };
+            println!("top outcomes:");
+            for (idx, p) in state.top_probabilities(args.top) {
+                println!("  |{idx:0width$b}>  p = {p:.6}", width = n as usize);
+            }
+        } else {
+            // Too wide to enumerate amplitudes: report the support size
+            // (2^k for k X-pivots in the canonical stabilizer set).
+            let pivots = srun
+                .tableau
+                .canonical_stabilizers()
+                .iter()
+                .filter(|(x, _, _)| x.iter().any(|&w| w != 0))
+                .count();
+            println!("support : 2^{pivots} basis state(s) with nonzero amplitude");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The Pauli-twirled stochastic-trajectory path (`--noise p`): one
+/// noisy template, ONE compiled plan on whichever engine dispatch
+/// picks, `--trajectories` re-parameterizations of the noise slots.
+/// Output is deterministic for a fixed `--seed` on any `--threads`.
+fn run_noisy_path(
+    args: &Args,
+    circuit: &Circuit,
+    cfg: AtlasConfig,
+    paulis: &[PauliString],
+) -> ExitCode {
+    let n = circuit.num_qubits();
+    let spec = MachineSpec {
+        nodes: args.nodes,
+        gpus_per_node: args.gpus_per_node,
+        local_qubits: args.local_qubits.min(n),
+    };
+    let template = noise::noisy_template(circuit);
+    let planner = Planner::new(spec, CostModel::default(), cfg);
+    let t_plan = Instant::now();
+    let plan = match planner.plan_backend(&template) {
+        Ok(p) => p,
+        Err(e) => return error_exit(&e),
+    };
+    let cfg = plan.config();
+    print_circuit_banner(circuit, n);
+    println!(
+        "backend : {} (noise p = {}, {} trajectorie(s), seed {})",
+        plan.backend_name(),
+        cfg.noise,
+        cfg.trajectories,
+        cfg.seed
+    );
+    eprintln!(
+        "noise   : planned the template once in {:.3} s ({} noise slot(s))",
+        t_plan.elapsed().as_secs_f64(),
+        template.num_gates() - circuit.num_gates()
+    );
+    if !paulis.is_empty() {
+        // Channel expectations: the mean over trajectories converges to
+        // the depolarizing channel's output expectation.
+        let k = cfg.trajectories.max(1);
+        let mut sums = vec![0.0; paulis.len()];
+        for t in 0..k {
+            let point = noise::trajectory(&template, cfg.noise, cfg.seed, t as u64);
+            let run = match plan.run(&point) {
+                Ok(r) => r,
+                Err(e) => return error_exit(&e),
+            };
+            for (s, p) in sums.iter_mut().zip(paulis) {
+                *s += run.expectation(p);
+            }
+        }
+        for (s, p) in sums.iter().zip(paulis) {
+            println!(
+                "expect  : <{p}> = {:.9} (mean over {k} trajectorie(s))",
+                s / k as f64
+            );
+        }
+    }
+    if args.shots > 0 {
+        let out = match noise::run_noisy(&plan, &template, args.shots) {
+            Ok(o) => o,
+            Err(e) => return error_exit(&e),
+        };
+        println!(
+            "shots   : {} over {} trajectorie(s) (seed {})",
+            out.shots, out.trajectories, args.seed
+        );
+        let mut counts = out.counts;
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        print_word_counts(&counts, out.shots, n);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_circuit_banner(circuit: &Circuit, n: u32) {
+    println!(
+        "circuit {} : {} qubits, {} gates, depth {}",
+        if circuit.name().is_empty() {
+            "<qasm>"
+        } else {
+            circuit.name()
+        },
+        n,
+        circuit.num_gates(),
+        circuit.depth()
+    );
+}
+
+/// Renders a bit-packed outcome (bit `q % 64` of word `q / 64` is qubit
+/// `q`) as an `n`-bit binary string, highest qubit leftmost — matching
+/// the single-word `|{bits:0n$b}>` format at any width.
+fn format_bits(words: &[u64], n: u32) -> String {
+    (0..n)
+        .rev()
+        .map(|q| {
+            if words[q as usize / 64] >> (q % 64) & 1 == 1 {
+                '1'
+            } else {
+                '0'
+            }
+        })
+        .collect()
+}
+
+/// Counts multi-word samples in `count_samples` order: descending
+/// count, ties ascending.
+fn count_word_samples(samples: Vec<Vec<u64>>) -> Vec<(Vec<u64>, u64)> {
+    let mut map: std::collections::BTreeMap<Vec<u64>, u64> = std::collections::BTreeMap::new();
+    for s in samples {
+        *map.entry(s).or_insert(0) += 1;
+    }
+    let mut counts: Vec<_> = map.into_iter().collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    counts
+}
+
+/// Prints word-packed shot counts in the statevector path's
+/// `print_measurements` format.
+fn print_word_counts(counts: &[(Vec<u64>, u64)], shots: usize, n: u32) {
+    const MAX_LINES: usize = 32;
+    for (bits, count) in counts.iter().take(MAX_LINES) {
+        println!(
+            "  |{}>  x {count}  (p^ = {:.6})",
+            format_bits(bits, n),
+            *count as f64 / shots as f64
+        );
+    }
+    if counts.len() > MAX_LINES {
+        let rest: u64 = counts[MAX_LINES..].iter().map(|&(_, c)| c).sum();
+        println!(
+            "  ... {} more outcomes ({} shots)",
+            counts.len() - MAX_LINES,
+            rest
+        );
+    }
 }
 
 fn print_report(report: &atlas::machine::MachineReport) {

@@ -13,12 +13,16 @@ pub use atlas_machine as machine;
 pub use atlas_qmath as qmath;
 pub use atlas_sampler as sampler;
 pub use atlas_serve as serve;
+pub use atlas_stabilizer as stabilizer;
 pub use atlas_statevec as statevec;
 
 /// The names most programs need.
 pub mod prelude {
     pub use atlas_circuit::{generators::Family, Circuit, Gate, GateKind};
-    pub use atlas_core::config::{AtlasConfig, AtlasConfigBuilder, KernelAlgo, StagingAlgo};
+    pub use atlas_core::backend::{BackendPlan, BackendRun, SimulatorBackend};
+    pub use atlas_core::config::{
+        AtlasConfig, AtlasConfigBuilder, BackendKind, KernelAlgo, StagingAlgo,
+    };
     pub use atlas_core::session::{CircuitFingerprint, CompiledPlan, Execution, Planner};
     pub use atlas_core::simulate::{simulate, SimulationOutput};
     pub use atlas_error::AtlasError;

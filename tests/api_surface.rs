@@ -21,7 +21,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/api_surface.txt");
-const CRATES: &[&str] = &["crates/core", "crates/sampler", "crates/serve"];
+const CRATES: &[&str] = &[
+    "crates/core",
+    "crates/sampler",
+    "crates/serve",
+    "crates/stabilizer",
+];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stability.
 fn rust_files(dir: &Path) -> Vec<PathBuf> {
@@ -148,6 +153,9 @@ fn snapshot_contains_session_api() {
         "pub fn staging_invocations",
         "pub struct AtlasConfigBuilder",
         "pub fn simulate",
+        "pub trait SimulatorBackend",
+        "pub struct Tableau",
+        "pub enum BackendKind",
     ] {
         assert!(
             want.contains(needle),

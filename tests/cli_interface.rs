@@ -36,6 +36,17 @@ fn successful_runs_exit_zero() {
             "--family", "qaoa", "-n", "8", "--shots", "32", "--seed", "7",
         ],
         vec!["--family", "ghz", "-n", "8", "--expect", "ZIIIIIIZ"],
+        // A seed with --noise (but no --shots) is well-formed: the seed
+        // drives the trajectory draws of the --expect average.
+        vec![
+            "--family", "ghz", "-n", "8", "--seed", "3", "--noise", "0.05", "--expect", "ZIIIIIIZ",
+        ],
+        vec![
+            "--family", "ghz", "-n", "8", "--seed", "3", "--noise", "0.05", "--shots", "16",
+        ],
+        // Forced backends on an all-Clifford family.
+        vec!["--family", "ghz", "-n", "8", "--backend", "stabilizer"],
+        vec!["--family", "ghz", "-n", "8", "--backend", "statevec"],
     ] {
         let out = atlas_sim(&args);
         assert_eq!(exit_code(&out), 0, "{args:?}: {}", stderr(&out));
@@ -125,6 +136,42 @@ fn contradictory_flags_are_rejected_with_exit_2() {
         ),
         (vec!["--family", "qft", "-n", "8", "--bogus"], "--bogus"),
         (vec!["--shots"], "missing value"),
+        (
+            vec!["--family", "ghz", "-n", "8", "--backend", "bogus"],
+            "backend",
+        ),
+        (
+            // qaoa uses non-Clifford rotations: the tableau cannot run it.
+            vec!["--family", "qaoa", "-n", "8", "--backend", "stabilizer"],
+            "Clifford",
+        ),
+        (
+            vec![
+                "--family",
+                "ghz",
+                "-n",
+                "8",
+                "--backend",
+                "stabilizer",
+                "--dry",
+            ],
+            "--dry",
+        ),
+        (
+            vec!["--family", "ghz", "-n", "8", "--trajectories", "4"],
+            "--noise",
+        ),
+        (
+            // --noise alone has nothing to report.
+            vec!["--family", "ghz", "-n", "8", "--noise", "0.05"],
+            "--noise",
+        ),
+        (
+            vec![
+                "--family", "ghz", "-n", "8", "--noise", "1.5", "--shots", "4",
+            ],
+            "noise",
+        ),
     ];
     for (args, needle) in cases {
         let out = atlas_sim(&args);
@@ -255,6 +302,55 @@ fn seeded_shot_output_is_identical_across_thread_counts() {
     );
     assert_eq!(t1, run("2"));
     assert_eq!(t1, run("8"));
+}
+
+/// Noisy trajectory sampling is keyed on `(seed, trajectory index)`
+/// alone, so its aggregated shot output must be byte-identical across
+/// thread counts *and* machine shapes.
+#[test]
+fn noisy_shot_output_is_identical_across_threads_and_shapes() {
+    let run = |threads: &str, nodes: &str, gpus: &str, local: &str| {
+        let out = atlas_sim(&[
+            "--family",
+            "ghz",
+            "-n",
+            "8",
+            "--nodes",
+            nodes,
+            "--gpus",
+            gpus,
+            "-L",
+            local,
+            "--noise",
+            "0.05",
+            "--trajectories",
+            "5",
+            "--shots",
+            "40",
+            "--seed",
+            "11",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(exit_code(&out), 0, "{}", stderr(&out));
+        stdout(&out)
+    };
+    let base = run("1", "2", "2", "5");
+    assert!(
+        base.contains("shots   : 40 over 5 trajectorie(s) (seed 11)"),
+        "missing noisy header:\n{base}"
+    );
+    assert_eq!(base, run("2", "2", "2", "5"));
+    assert_eq!(base, run("8", "2", "2", "5"));
+    // A different shard layout may print a different banner, but the
+    // measurement payload must not move.
+    let measurement = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("shots") || l.starts_with("  |"))
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(measurement(&base), measurement(&run("4", "1", "1", "8")));
 }
 
 #[test]

@@ -78,6 +78,65 @@ pub fn arb_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
     })
 }
 
+/// One gate from the Clifford alphabet (the stabilizer backend's
+/// domain), chosen by `kind_idx` with qubits drawn from `seed`.
+fn clifford_gate_from(n: u32, kind_idx: usize, seed: u64) -> Gate {
+    use GateKind::*;
+    let (kind, arity) = match kind_idx {
+        0 => (H, 1),
+        1 => (X, 1),
+        2 => (Y, 1),
+        3 => (Z, 1),
+        4 => (S, 1),
+        5 => (Sdg, 1),
+        6 => (SX, 1),
+        7 => (CX, 2),
+        8 => (CY, 2),
+        9 => (CZ, 2),
+        _ => (Swap, 2),
+    };
+    Gate::new(kind, &pick_qubits(n, arity, seed))
+}
+
+/// Strategy: one random gate from the Clifford alphabet over `n` qubits.
+fn arb_clifford_gate(n: u32) -> impl Strategy<Value = Gate> {
+    (0usize..11, any::<u64>())
+        .prop_map(move |(kind_idx, seed)| clifford_gate_from(n, kind_idx, seed))
+}
+
+/// Strategy: a random all-Clifford circuit with `n` qubits and up to
+/// `max_gates` gates.
+pub fn arb_clifford_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_clifford_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::named(n, "random_clifford");
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+/// Strategy: a random all-Clifford circuit whose qubit count itself
+/// varies over `min_n..=max_n` (the vendored proptest shim has no
+/// `prop_flat_map`, so the width is folded into the same draw).
+pub fn arb_clifford_circuit_sized(
+    min_n: u32,
+    max_n: u32,
+    max_gates: usize,
+) -> impl Strategy<Value = Circuit> {
+    (
+        min_n..max_n + 1,
+        proptest::collection::vec((0usize..11, any::<u64>()), 1..max_gates),
+    )
+        .prop_map(|(n, specs)| {
+            let mut c = Circuit::named(n, "random_clifford");
+            for (kind_idx, seed) in specs {
+                c.push(clifford_gate_from(n, kind_idx, seed));
+            }
+            c
+        })
+}
+
 /// Every staging algorithm `AtlasConfig` accepts.
 pub fn all_staging_algos() -> [StagingAlgo; 3] {
     [
@@ -188,6 +247,96 @@ pub fn run_atlas_with(circuit: &Circuit, spec: MachineSpec, cfg: &AtlasConfig) -
 /// Runs the pipeline with the validation defaults.
 pub fn run_atlas(circuit: &Circuit, spec: MachineSpec) -> StateVector {
     run_atlas_with(circuit, spec, &AtlasConfig::for_validation())
+}
+
+/// The fixed-seed all-Clifford regression circuits: GHZ and the seeded
+/// random-Clifford family (both from `circuit::generators`, both
+/// deterministic), sized so the full algorithm cross product stays fast.
+pub fn clifford_regression_circuits() -> Vec<Circuit> {
+    use atlas::circuit::generators;
+    vec![generators::ghz(9), generators::clifford(8)]
+}
+
+/// A deterministic probe set of Pauli strings for an `n`-qubit backend
+/// differential: every single-qubit Z, the edge ZZ correlator, XX and
+/// YY on the first pair, and the full X string.
+pub fn pauli_probes(n: u32) -> Vec<PauliString> {
+    use atlas::sampler::PauliOp;
+    let mut probes: Vec<PauliString> = (0..n)
+        .map(|q| PauliString::from_ops(n, &[(q, PauliOp::Z)]))
+        .collect();
+    probes.push(PauliString::from_ops(
+        n,
+        &[(0, PauliOp::Z), (n - 1, PauliOp::Z)],
+    ));
+    probes.push(PauliString::from_ops(
+        n,
+        &[(0, PauliOp::X), (1, PauliOp::X)],
+    ));
+    probes.push(PauliString::from_ops(
+        n,
+        &[(0, PauliOp::Y), (1, PauliOp::Y)],
+    ));
+    probes.push(PauliString::from_ops(
+        n,
+        &(0..n).map(|q| (q, PauliOp::X)).collect::<Vec<_>>(),
+    ));
+    probes
+}
+
+/// Backend-vs-backend differential: on an all-Clifford circuit, the
+/// sharded statevector pipeline under `(staging, kernelizer, spec)` and
+/// the CHP stabilizer tableau must agree — on the support (every
+/// basis-state probability), on every single-qubit marginal and on the
+/// [`pauli_probes`] expectations — to within `1e-9`.
+pub fn assert_backends_agree(
+    circuit: &Circuit,
+    spec: MachineSpec,
+    staging: StagingAlgo,
+    kernelizer: KernelAlgo,
+) {
+    let n = circuit.num_qubits();
+    assert!(n <= 16, "support enumeration needs a small circuit");
+    let mut cfg = AtlasConfig::for_validation();
+    cfg.staging = staging;
+    cfg.kernelizer = kernelizer;
+    cfg.ilp_node_limit = 200_000;
+    let label = format!(
+        "{} under {staging:?} x {kernelizer:?} on {}",
+        circuit.name(),
+        shape_label(&spec)
+    );
+    cfg.backend = BackendKind::Statevec;
+    let sv = Planner::new(spec, CostModel::default(), cfg.clone())
+        .plan_backend(circuit)
+        .unwrap_or_else(|e| panic!("{label}: statevec plan failed: {e}"));
+    cfg.backend = BackendKind::Stabilizer;
+    let st = Planner::new(spec, CostModel::default(), cfg)
+        .plan_backend(circuit)
+        .unwrap_or_else(|e| panic!("{label}: stabilizer plan failed: {e}"));
+    assert_eq!(sv.backend_name(), "statevec");
+    assert_eq!(st.backend_name(), "stabilizer");
+    let rv = sv
+        .run(circuit)
+        .unwrap_or_else(|e| panic!("{label}: statevec run failed: {e}"));
+    let rs = st
+        .run(circuit)
+        .unwrap_or_else(|e| panic!("{label}: stabilizer run failed: {e}"));
+    for q in 0..n {
+        let (a, b) = (rv.marginal_one(q), rs.marginal_one(q));
+        assert!((a - b).abs() < 1e-9, "{label}: marginal({q}) {a} vs {b}");
+    }
+    for idx in 0..(1u64 << n) {
+        let (a, b) = (
+            rv.probability_of_bits(&[idx]),
+            rs.probability_of_bits(&[idx]),
+        );
+        assert!((a - b).abs() < 1e-9, "{label}: p({idx}) {a} vs {b}");
+    }
+    for p in pauli_probes(n) {
+        let (a, b) = (rv.expectation(&p), rs.expectation(&p));
+        assert!((a - b).abs() < 1e-9, "{label}: <{p}> {a} vs {b}");
+    }
 }
 
 /// Differential check: the distributed pipeline under

@@ -11,6 +11,7 @@
 
 mod common;
 
+use atlas::core::noise::{self, NoisyOutcome};
 use atlas::prelude::*;
 
 /// Runs `circuit` on `spec` with the given thread count and returns the
@@ -44,6 +45,51 @@ fn one_and_eight_threads_are_byte_identical_on_regression_circuits() {
                 &serial,
                 &parallel,
                 &format!("{} on {}", circuit.name(), common::shape_label(&spec)),
+            );
+        }
+    }
+}
+
+/// Plans the noisy template of `circuit` on `spec` and runs the full
+/// trajectory sweep with the given thread count.
+fn run_noisy_with(circuit: &Circuit, spec: MachineSpec, threads: usize) -> NoisyOutcome {
+    let cfg = AtlasConfig {
+        threads,
+        seed: 41,
+        noise: 0.05,
+        trajectories: 7,
+        ..AtlasConfig::for_validation()
+    };
+    let planner = Planner::new(spec, CostModel::default(), cfg);
+    let template = noise::noisy_template(circuit);
+    let plan = planner.plan_backend(&template).expect("noisy plan");
+    noise::run_noisy(&plan, &template, 96).expect("noisy sweep")
+}
+
+/// Noise trajectories are drawn from the splittable counter RNG, keyed
+/// only by `(seed, trajectory index)` — so the aggregated shot counts
+/// must be **byte-identical** across thread counts *and* across machine
+/// shapes (the shard layout must not leak into the physics).
+#[test]
+fn noisy_trajectories_are_identical_across_threads_and_shapes() {
+    let circuit = atlas::circuit::generators::qaoa(8);
+    let shapes = common::machine_shapes(circuit.num_qubits());
+    let baseline = run_noisy_with(&circuit, shapes[0], 1);
+    assert_eq!(baseline.trajectories, 7);
+    assert_eq!(baseline.shots, 96);
+    assert_eq!(
+        baseline.counts.iter().map(|(_, c)| c).sum::<u64>(),
+        96,
+        "every shot must land in exactly one outcome bucket"
+    );
+    for spec in shapes {
+        for threads in [1, 2, 8] {
+            let got = run_noisy_with(&circuit, spec, threads);
+            assert_eq!(
+                baseline,
+                got,
+                "noisy outcome drifted at t={threads} on {}",
+                common::shape_label(&spec)
             );
         }
     }

@@ -125,6 +125,66 @@ fn pooled_sampling_matches_direct_session() {
     assert_eq!(counts, direct.measurements.sample_counts(64, 9));
 }
 
+/// Worker-count invariance: the pool's concurrency knob is scheduling,
+/// not physics, so fixed-seed outputs of the deterministic Clifford
+/// families must be **byte-identical** whether one worker or four drain
+/// the queue — even with several tenants' jobs in flight at once.
+#[test]
+fn fixed_seed_outputs_are_identical_across_worker_counts() {
+    let families = [
+        atlas::circuit::generators::ghz(9),
+        atlas::circuit::generators::clifford(8),
+    ];
+    let run_all = |workers: usize| -> Vec<(Vec<(u64, u64)>, u64)> {
+        let p = pool(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        });
+        // Enqueue everything before waiting so multi-worker pools
+        // genuinely execute jobs concurrently.
+        let mut handles = Vec::new();
+        for (i, c) in families.iter().enumerate() {
+            for j in 0..3u64 {
+                handles.push(
+                    p.submit(
+                        format!("tenant-{i}-{j}").as_str(),
+                        c.clone(),
+                        JobRequest::Sample {
+                            shots: 64,
+                            seed: 7 + j,
+                        },
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let outs: Vec<(Vec<(u64, u64)>, u64)> = handles
+            .into_iter()
+            .map(|h| {
+                let JobOutput::Sampled { counts } = executed(h.wait()) else {
+                    panic!("expected Sampled");
+                };
+                let total = counts.iter().map(|(_, c)| c).sum();
+                (counts, total)
+            })
+            .collect();
+        p.shutdown();
+        outs
+    };
+    let baseline = run_all(1);
+    for (counts, total) in &baseline {
+        assert_eq!(*total, 64);
+        assert!(!counts.is_empty());
+    }
+    for workers in [2, 4] {
+        assert_eq!(
+            baseline,
+            run_all(workers),
+            "sampled counts drifted at workers = {workers}"
+        );
+    }
+}
+
 /// Round-robin across tenants: one flooding tenant cannot starve the
 /// others. Submission order a0,a1,a2,b0,c0 must dispatch as
 /// a0,b0,c0,a1,a2 (one job per tenant per ring pass; FIFO per tenant).

@@ -1,0 +1,90 @@
+//! Property tests for the CHP stabilizer tableau: algebraic invariants
+//! that must hold for *every* Clifford circuit, not just the regression
+//! families.
+//!
+//! * `C · C⁻¹` is the identity, so replaying a circuit followed by its
+//!   inverse must restore the |0…0⟩ tableau exactly;
+//! * the stabilizer group is abelian, so applying any element of the
+//!   group as a gate sequence fixes every stabilizer row under
+//!   conjugation — the canonical tableau is invariant;
+//! * for small `n` the tableau converts to a dense statevector that
+//!   must match `simulate_reference` up to global phase.
+
+mod common;
+
+use atlas::prelude::*;
+use atlas::stabilizer::{inverse_circuit, Tableau};
+use proptest::prelude::*;
+
+/// Rebuilds one canonical stabilizer row as an explicit Pauli gate
+/// sequence: `x&z → Y`, `x → X`, `z → Z` per qubit. The row's sign and
+/// the `Y = iXZ` bookkeeping only contribute a global phase, which the
+/// tableau representation cannot see.
+fn row_as_gates(c: &mut Circuit, x: &[u64], z: &[u64], n: u32) {
+    for q in 0..n {
+        let (w, b) = ((q / 64) as usize, q % 64);
+        let xb = (x[w] >> b) & 1 == 1;
+        let zb = (z[w] >> b) & 1 == 1;
+        match (xb, zb) {
+            (true, true) => c.push(Gate::new(GateKind::Y, &[q])),
+            (true, false) => c.push(Gate::new(GateKind::X, &[q])),
+            (false, true) => c.push(Gate::new(GateKind::Z, &[q])),
+            (false, false) => {}
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Replaying `C` then `C⁻¹` restores the zero-state tableau:
+    /// destabilizers Xᵢ, stabilizers Zᵢ, all signs +.
+    #[test]
+    fn inverse_circuit_restores_zero_state(circuit in common::arb_clifford_circuit(8, 60)) {
+        let mut t = Tableau::from_circuit(&circuit).unwrap();
+        t.apply_circuit(&inverse_circuit(&circuit).unwrap()).unwrap();
+        prop_assert!(t.is_zero_state(), "C followed by C^-1 did not restore |0...0>");
+    }
+
+    /// Applying any product of the state's own stabilizer generators is
+    /// (up to global phase) the identity on the state, so the canonical
+    /// stabilizer rows must not move.
+    #[test]
+    fn applying_own_stabilizers_is_invariant(
+        circuit in common::arb_clifford_circuit(8, 60),
+        mask in any::<u64>(),
+    ) {
+        let n = circuit.num_qubits();
+        let mut t = Tableau::from_circuit(&circuit).unwrap();
+        let before = t.canonical_stabilizers();
+        let mut pauli = Circuit::named(n, "stabilizer_product");
+        for (i, (x, z, _sign)) in before.iter().enumerate() {
+            if (mask >> (i % 64)) & 1 == 1 {
+                row_as_gates(&mut pauli, x, z, n);
+            }
+        }
+        t.apply_circuit(&pauli).unwrap();
+        prop_assert_eq!(
+            before,
+            t.canonical_stabilizers(),
+            "conjugation by a stabilizer-group element moved the canonical tableau"
+        );
+    }
+
+    /// The tableau's dense conversion agrees with the reference
+    /// statevector simulator up to global phase, across qubit counts.
+    #[test]
+    fn to_statevector_matches_reference(
+        circuit in common::arb_clifford_circuit_sized(2, 10, 40),
+    ) {
+        let t = Tableau::from_circuit(&circuit).unwrap();
+        let dense = t.to_statevector().unwrap();
+        let reference = simulate_reference(&circuit);
+        let fidelity = dense.fidelity(&reference);
+        prop_assert!(
+            (fidelity - 1.0).abs() < 1e-9,
+            "tableau -> statevector fidelity {fidelity} on {} qubits",
+            circuit.num_qubits()
+        );
+    }
+}
