@@ -124,13 +124,39 @@ impl SimulatorBackend for StabilizerPlan {
                 ),
             });
         }
+        let rec = &self.cfg.recorder;
+        let t = rec.start();
         let tableau = Tableau::from_circuit(circuit)?;
+        rec.span(
+            "stabilizer.run",
+            t,
+            true,
+            0,
+            0,
+            0,
+            &[
+                ("qubits", circuit.num_qubits() as u64),
+                ("gates", circuit.num_gates() as u64),
+            ],
+        );
         let samples = (self.cfg.shots > 0).then(|| {
+            let t = rec.start();
             let rng = CounterRng::new(self.cfg.seed);
-            (0..self.cfg.shots as u64)
+            let samples = (0..self.cfg.shots as u64)
                 .map(|shot| tableau.sample_words(&rng, shot))
-                .collect()
+                .collect();
+            rec.span(
+                "sample.draw",
+                t,
+                true,
+                0,
+                0,
+                0,
+                &[("shots", self.cfg.shots as u64), ("seed", self.cfg.seed)],
+            );
+            samples
         });
+        rec.flush();
         Ok(BackendRun::Stabilizer(StabilizerRun { tableau, samples }))
     }
 }

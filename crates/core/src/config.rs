@@ -3,6 +3,7 @@
 //! combinations at construction time.
 
 use atlas_error::AtlasError;
+use atlas_telemetry::Recorder;
 use std::time::Duration;
 
 /// Which algorithm picks the stages.
@@ -144,6 +145,12 @@ pub struct AtlasConfig {
     pub trajectories: usize,
     /// Which simulation engine runs the circuit.
     pub backend: BackendKind,
+    /// Telemetry handle threaded through planning, execution, sampling
+    /// and the serve pool. Disabled by default — every recording call in
+    /// the pipeline is then a single-branch no-op. Enabling it never
+    /// changes model-level output (amplitudes, samples, simulated
+    /// seconds): wall-clock rides the trace channel only.
+    pub recorder: Recorder,
 }
 
 impl Default for AtlasConfig {
@@ -164,6 +171,7 @@ impl Default for AtlasConfig {
             noise: 0.0,
             trajectories: 1,
             backend: BackendKind::Auto,
+            recorder: Recorder::default(),
         }
     }
 }
@@ -410,6 +418,13 @@ impl AtlasConfigBuilder {
         self
     }
 
+    /// Attaches a telemetry recorder (spans, counters, metrics). The
+    /// default — a disabled handle — records nothing at zero cost.
+    pub fn recorder(mut self, recorder: Recorder) -> Self {
+        self.cfg.recorder = recorder;
+        self
+    }
+
     /// Validates the assembled configuration and returns it.
     ///
     /// Rejected combinations (each a distinct
@@ -471,8 +486,10 @@ mod tests {
             .threads(8)
             .shots(1024)
             .seed(7)
+            .recorder(Recorder::enabled())
             .build()
             .unwrap();
+        assert!(cfg.recorder.is_enabled());
         assert_eq!(cfg.inter_node_cost_factor, 5);
         assert_eq!(cfg.pruning_threshold, 100);
         assert_eq!(cfg.max_stages, 32);

@@ -261,12 +261,26 @@ pub fn plan(
     cost: &CostModel,
     cfg: &AtlasConfig,
 ) -> Result<FullPlan, AtlasError> {
+    let t = cfg.recorder.start();
     let StagingOutcome {
         stages,
         cost: staging_cost,
         optimal,
         solve_status,
     } = staging::stage_circuit(circuit, l, g, cfg)?;
+    cfg.recorder.span(
+        "plan.stage",
+        t,
+        true,
+        0,
+        0,
+        0,
+        &[
+            ("stages", stages.len() as u64),
+            ("cost", staging_cost.max(0) as u64),
+            ("optimal", optimal as u64),
+        ],
+    );
     let mut plan = plan_from_stages(circuit, stages, staging_cost, optimal, l, g, cost, cfg)?;
     plan.solve_status = solve_status;
     Ok(plan)
@@ -287,6 +301,7 @@ pub fn plan_from_stages(
 ) -> Result<FullPlan, AtlasError> {
     let n = circuit.num_qubits();
     let kc = KernelCost::from_machine(cost);
+    let t = cfg.recorder.start();
     let mut plans = Vec::with_capacity(stages.len());
     let mut prev_mapping: Option<Vec<u32>> = None;
     let mut kernel_cost = 0.0;
@@ -297,6 +312,17 @@ pub fn plan_from_stages(
         prev_mapping = Some(sp.mapping.clone());
         plans.push(sp);
     }
+    let kernels: u64 = plans.iter().map(|sp| sp.kernels.len() as u64).sum();
+    cfg.recorder.span(
+        "plan.kernelize",
+        t,
+        true,
+        0,
+        0,
+        0,
+        &[("stages", plans.len() as u64), ("kernels", kernels)],
+    );
+    cfg.recorder.flush();
     Ok(FullPlan {
         stages: plans,
         staging_cost,

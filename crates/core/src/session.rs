@@ -389,6 +389,7 @@ impl CompiledPlan {
         circuit: &Circuit,
         permute_in: bool,
     ) -> Result<Execution, AtlasError> {
+        machine.set_recorder(self.cfg.recorder.clone());
         if permute_in {
             if let Some(sp0) = self.plan.stages.first() {
                 let perm = atlas_qmath::QubitPermutation::from_map(sp0.mapping.clone());
@@ -402,8 +403,22 @@ impl CompiledPlan {
         let report = machine.report();
         let mapping = self.plan.final_mapping(self.cfg.final_unpermute);
         let measurements = Measurements::new(machine, mapping, self.cfg.threads.max(1));
-        let samples =
-            (self.cfg.shots > 0).then(|| measurements.sample(self.cfg.shots, self.cfg.seed));
+        let samples = (self.cfg.shots > 0).then(|| {
+            let rec = &self.cfg.recorder;
+            let t = rec.start();
+            let samples = measurements.sample(self.cfg.shots, self.cfg.seed);
+            rec.span(
+                "sample.draw",
+                t,
+                true,
+                0,
+                0,
+                0,
+                &[("shots", self.cfg.shots as u64), ("seed", self.cfg.seed)],
+            );
+            rec.flush();
+            samples
+        });
         Ok(Execution {
             report,
             state,
@@ -417,6 +432,7 @@ impl CompiledPlan {
     /// charged straight from the plan.
     pub fn dry_run(&self) -> MachineReport {
         let mut machine = Machine::new(self.spec, self.cost.clone(), self.plan.n, true);
+        machine.set_recorder(self.cfg.recorder.clone());
         exec::execute_dry(&mut machine, &self.plan, &self.cfg);
         machine.report()
     }

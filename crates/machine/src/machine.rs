@@ -9,6 +9,7 @@ use atlas_qmath::{Complex64, IndexPermuter, Matrix, QubitPermutation};
 use atlas_statevec::{
     apply_batched, apply_matrix, measure, scratch, FastKernel, Pool, Scratch, StateVector,
 };
+use atlas_telemetry::{secs_to_ns, Recorder};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
 
@@ -71,6 +72,23 @@ impl ShardCell<'_> {
     #[allow(clippy::mut_from_ref)]
     unsafe fn shard_mut(&self, s: usize) -> &mut Vec<Complex64> {
         &mut *self.0[s].get()
+    }
+}
+
+/// `machine.step` event `kind` argument: a compute step (stage barrier).
+pub const STEP_COMPUTE: u64 = 0;
+/// `machine.step` event `kind` argument: a communication step
+/// (all-to-all reshuffle or a baseline's modeled exchange).
+pub const STEP_COMM: u64 = 1;
+
+/// Republishes this worker thread's monotonic Scratch offset-table memo
+/// counters under its telemetry lane, so the metrics snapshot can sum
+/// them after the pool threads exit. No-op on a disabled recorder.
+fn publish_scratch_counters(rec: &Recorder, scr: &Scratch) {
+    if rec.is_enabled() {
+        rec.metric_lane_set("scratch.table_hits", scr.table_hits());
+        rec.metric_lane_set("scratch.table_misses", scr.table_misses());
+        rec.metric_lane_set("scratch.table_evictions", scr.table_evictions());
     }
 }
 
@@ -152,6 +170,9 @@ pub struct Machine {
     /// Whether offload swaps overlap with compute (Atlas overlaps via
     /// Legion; naive baselines set this to `false`).
     pub overlap_io: bool,
+    /// Telemetry handle: disabled by default (every recording call is a
+    /// single-branch no-op); [`Machine::set_recorder`] attaches one.
+    recorder: Recorder,
 }
 
 impl Machine {
@@ -188,7 +209,16 @@ impl Machine {
             bytes_inter: 0,
             kernels: 0,
             overlap_io: true,
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a telemetry recorder: kernel-apply spans, reshuffle spans
+    /// and per-step `machine.step` counters are recorded through it.
+    /// Timestamps ride the trace channel only — amplitudes, samples and
+    /// the simulated clock are byte-identical with or without one.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Creates a functional machine seeded with an arbitrary state.
@@ -364,6 +394,10 @@ impl Machine {
             return;
         }
         let num_shards = self.shards.len();
+        // Step index the in-flight kernels belong to (their barrier has
+        // not pushed yet).
+        let stage = self.steps.len() as u32;
+        let shard_amps = self.shard_len() as u64;
         // Fewer shards than workers: keep shards sequential and spend the
         // threads inside each kernel instead.
         let within = if num_shards < pool.threads() {
@@ -372,12 +406,28 @@ impl Machine {
             1
         };
         if within > 1 {
+            let rec = self.recorder.clone();
             scratch::with_thread(|scr| {
                 for (s, prog) in programs.iter().enumerate() {
+                    let t = rec.start();
                     run_program(&mut self.shards[s], prog, scr, within);
+                    rec.span(
+                        "kernel.apply",
+                        t,
+                        true,
+                        stage,
+                        s as u32,
+                        0,
+                        &[("ops", prog.len() as u64), ("amps", shard_amps)],
+                    );
+                    publish_scratch_counters(&rec, scr);
                 }
             });
         } else {
+            // Clone the handle out of `self` before the raw-pointer view
+            // of the shard buffers exists: the worker closure must not
+            // hold any borrow of `self`.
+            let rec = self.recorder.clone();
             // SAFETY: Vec<Complex64> and UnsafeCell<Vec<Complex64>> have
             // identical layout; each pool item `s` only touches shard `s`.
             let cell = ShardCell(unsafe {
@@ -387,13 +437,33 @@ impl Machine {
                 )
             });
             let cell = &cell;
+            let rec = &rec;
             pool.run(num_shards, &|s| {
+                // Per-worker idle gap since the previous stage (barrier +
+                // reshuffle wait) — scheduling detail, never deterministic.
+                rec.wait_span("worker.wait", stage);
+                let t = rec.start();
                 // SAFETY: disjoint indices per item, see above.
                 let amps = unsafe { cell.shard_mut(s) };
                 // One scratch arena per pool worker; workers persist
                 // across stages, so the arenas stay warm for the whole
                 // EXECUTE and kernel execution allocates nothing.
-                scratch::with_thread(|scr| run_program(amps, &programs[s], scr, 1));
+                scratch::with_thread(|scr| {
+                    run_program(amps, &programs[s], scr, 1);
+                    publish_scratch_counters(rec, scr);
+                });
+                rec.span(
+                    "kernel.apply",
+                    t,
+                    true,
+                    stage,
+                    s as u32,
+                    0,
+                    &[("ops", programs[s].len() as u64), ("amps", shard_amps)],
+                );
+                // Workers only live for the enclosing `with_pool` scope:
+                // drain their fixed-capacity buffers while they exist.
+                rec.flush();
             });
         }
     }
@@ -427,6 +497,7 @@ impl Machine {
     /// Ends a bulk-synchronous compute step: stage time is the max over
     /// devices, plus DRAM-offload swap charges when shards outnumber GPUs.
     pub fn stage_barrier(&mut self) {
+        let barrier_t = self.recorder.start();
         let compute = self.pending.iter().copied().fold(0.0, f64::max);
         let mut swap = 0.0;
         if self.spec.offloading(self.n) {
@@ -452,8 +523,25 @@ impl Machine {
                 ..Default::default()
             }
         };
+        let stage = self.steps.len() as u32;
+        self.recorder.counter(
+            "machine.step",
+            true,
+            stage,
+            0,
+            0,
+            &[
+                ("kind", STEP_COMPUTE),
+                ("compute_ns", secs_to_ns(step.compute)),
+                ("swap_ns", secs_to_ns(step.swap)),
+            ],
+        );
+        self.recorder
+            .span("stage.barrier", barrier_t, true, stage, 0, 0, &[]);
         self.steps.push(step);
         self.pending.iter_mut().for_each(|p| *p = 0.0);
+        // Stage barriers are the main thread's drain point.
+        self.recorder.flush();
     }
 
     /// Charges the interconnect model for the transition
@@ -519,6 +607,19 @@ impl Machine {
         } else {
             t_local
         };
+        self.recorder.counter(
+            "machine.step",
+            true,
+            self.steps.len() as u32,
+            0,
+            0,
+            &[
+                ("kind", STEP_COMM),
+                ("comm_ns", secs_to_ns(comm)),
+                ("bytes_intra", step_intra),
+                ("bytes_inter", step_inter),
+            ],
+        );
         self.steps.push(StageTiming {
             comm,
             bytes_intra: step_intra,
@@ -548,10 +649,33 @@ impl Machine {
     /// Byte-identical to [`Machine::permute_state_scatter`] (pinned by
     /// `tests/hotpath_exactness.rs`).
     pub fn permute_state(&mut self, perm: &QubitPermutation, flip: u64) {
+        let t = self.recorder.start();
         let needs_move = self.charge_permute(perm, flip);
-        if self.dry || !needs_move {
-            return;
+        if !self.dry && needs_move {
+            self.relayout_blocks(perm, flip);
         }
+        // `charge_permute` just pushed this transition's step.
+        let step = self.steps.last().copied().unwrap_or_default();
+        self.recorder.span(
+            "machine.reshuffle",
+            t,
+            true,
+            self.steps.len() as u32 - 1,
+            0,
+            0,
+            &[
+                ("bytes_intra", step.bytes_intra),
+                ("bytes_inter", step.bytes_inter),
+                ("comm_ns", secs_to_ns(step.comm)),
+                ("moved", needs_move as u64),
+            ],
+        );
+        self.recorder.flush();
+    }
+
+    /// The functional relayout engine behind [`Machine::permute_state`]
+    /// (cost already charged; `dry` and no-op transitions filtered out).
+    fn relayout_blocks(&mut self, perm: &QubitPermutation, flip: u64) {
         let l = self.spec.local_qubits;
         let n = self.n;
         let shard_len = self.shard_len();
@@ -659,6 +783,19 @@ impl Machine {
     /// Charges communication without data movement (baseline simulators
     /// that model other exchange schemes).
     pub fn charge_comm(&mut self, secs: f64, bytes_intra: u64, bytes_inter: u64) {
+        self.recorder.counter(
+            "machine.step",
+            true,
+            self.steps.len() as u32,
+            0,
+            0,
+            &[
+                ("kind", STEP_COMM),
+                ("comm_ns", secs_to_ns(secs)),
+                ("bytes_intra", bytes_intra),
+                ("bytes_inter", bytes_inter),
+            ],
+        );
         self.steps.push(StageTiming {
             comm: secs,
             bytes_intra,

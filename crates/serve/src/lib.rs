@@ -58,4 +58,4 @@ pub mod protocol;
 pub use pool::{
     CancelToken, JobHandle, JobOutcome, JobOutput, JobRequest, PoolStats, ServeConfig, SessionPool,
 };
-pub use protocol::{parse_job, render_response, JobSpec};
+pub use protocol::{parse_job, parse_line, render_response, render_stats, JobLine, JobSpec};

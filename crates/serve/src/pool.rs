@@ -47,6 +47,7 @@ use atlas_ilp::SolveStatus;
 use atlas_machine::{CostModel, MachineSpec};
 use atlas_sampler::PauliString;
 use atlas_statevec::{scratch, StateVector};
+use atlas_telemetry::SpanStart;
 
 /// Pool shape: worker count, queue bound and plan-cache bound.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -274,6 +275,10 @@ struct QueuedJob {
     request: JobRequest,
     cancel: CancelToken,
     tx: mpsc::Sender<Result<JobOutcome, AtlasError>>,
+    /// Telemetry anchor taken at submission — the `serve.queue_wait`
+    /// span runs from here to dispatch (wall-clock only, never in the
+    /// response stream).
+    submitted: SpanStart,
 }
 
 /// Scheduler state under the queue mutex: per-tenant FIFOs plus the
@@ -329,6 +334,9 @@ struct PlanCache {
 struct Shared {
     planner: Planner,
     queue_capacity: usize,
+    /// Configured worker-team size (stable across shutdown, unlike the
+    /// join-handle vector `stats` used to read).
+    worker_count: usize,
     sched: Mutex<SchedState>,
     /// Wakes workers when work arrives (or on pause/shutdown edges).
     job_ready: Condvar,
@@ -373,6 +381,7 @@ impl SessionPool {
         let shared = Arc::new(Shared {
             planner: Planner::new(spec, cost, cfg),
             queue_capacity: serve.queue_capacity,
+            worker_count: serve.workers,
             sched: Mutex::new(SchedState::default()),
             job_ready: Condvar::new(),
             space_ready: Condvar::new(),
@@ -462,6 +471,7 @@ impl SessionPool {
             request,
             cancel: cancel.clone(),
             tx,
+            submitted: shared.planner.config().recorder.start(),
         };
         match sched.tenants.entry(tenant.to_string()) {
             std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push_back(job),
@@ -518,7 +528,7 @@ impl SessionPool {
                 *acc += cell.load(Ordering::Relaxed);
             }
         }
-        PoolStats {
+        let stats = PoolStats {
             jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: shared.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
@@ -529,11 +539,25 @@ impl SessionPool {
             cache_evictions,
             cache_entries,
             max_queued,
-            workers: self.workers.len(),
+            workers: shared.worker_count,
             scratch_table_hits: scratch[0],
             scratch_table_misses: scratch[1],
             scratch_table_evictions: scratch[2],
+        };
+        // Absorb the pool counters into the unified metrics registry, so
+        // a trace export carries them alongside the span-level data.
+        let rec = &shared.planner.config().recorder;
+        if rec.is_enabled() {
+            rec.metric_set("serve.jobs_submitted", stats.jobs_submitted);
+            rec.metric_set("serve.jobs_completed", stats.jobs_completed);
+            rec.metric_set("serve.jobs_failed", stats.jobs_failed);
+            rec.metric_set("serve.jobs_cancelled", stats.jobs_cancelled);
+            rec.metric_set("serve.jobs_rejected", stats.jobs_rejected);
+            rec.metric_set("serve.plan_cache.entries", stats.cache_entries as u64);
+            rec.metric_set("serve.queue.max_depth", stats.max_queued as u64);
+            rec.metric_set("serve.workers", stats.workers as u64);
         }
+        stats
     }
 
     /// Drains the queue, joins the workers and returns the final
@@ -570,6 +594,7 @@ impl Drop for SessionPool {
 /// Looks up (or computes) the plan for `circuit`. Planning happens
 /// under the cache lock — see [`PlanCache`].
 fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, AtlasError> {
+    let rec = &shared.planner.config().recorder;
     let fp = CircuitFingerprint::of(circuit);
     let mut cache = shared.cache.lock().unwrap();
     cache.tick += 1;
@@ -578,9 +603,11 @@ fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, Atl
         entry.0 = tick;
         let plan = Arc::clone(&entry.1);
         cache.hits += 1;
+        rec.metric_add("serve.plan_cache.hits", 1);
         return Ok(plan);
     }
     cache.misses += 1;
+    rec.metric_add("serve.plan_cache.misses", 1);
     let plan = Arc::new(shared.planner.plan(circuit)?);
     if cache.map.len() >= cache.capacity {
         let coldest = cache
@@ -591,6 +618,7 @@ fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, Atl
             .expect("cache at capacity is non-empty");
         cache.map.remove(&coldest);
         cache.evictions += 1;
+        rec.metric_add("serve.plan_cache.evictions", 1);
     }
     cache.map.insert(fp, (tick, plan.clone()));
     Ok(plan)
@@ -646,7 +674,18 @@ fn run_job(
     }
 }
 
+/// Numeric request tag carried by `serve.job` span args.
+fn request_kind(request: &JobRequest) -> u64 {
+    match request {
+        JobRequest::Plan => 0,
+        JobRequest::Execute => 1,
+        JobRequest::Sample { .. } => 2,
+        JobRequest::Expect { .. } => 3,
+    }
+}
+
 fn worker_loop(shared: &Shared, slot: usize) {
+    let rec = shared.planner.config().recorder.clone();
     loop {
         // Take the next job (or exit once shut down and drained).
         let job = {
@@ -665,6 +704,18 @@ fn worker_loop(shared: &Shared, slot: usize) {
         };
         shared.space_ready.notify_one();
 
+        // Queue latency: submission → dispatch. Wall-clock, so det =
+        // false (its duration and very presence depend on scheduling).
+        rec.span(
+            "serve.queue_wait",
+            job.submitted,
+            false,
+            0,
+            0,
+            job.id as u32,
+            &[],
+        );
+        let job_t = rec.start();
         let result = if job.cancel.is_cancelled() {
             Ok(JobOutcome::Cancelled)
         } else {
@@ -676,6 +727,23 @@ fn worker_loop(shared: &Shared, slot: usize) {
                 Ok(plan) => run_job(&plan, &job.circuit, &job.request).map(JobOutcome::Output),
             }
         };
+        let outcome = match &result {
+            Ok(JobOutcome::Output(_)) => 0u64,
+            Ok(JobOutcome::Cancelled) => 1,
+            Err(_) => 2,
+        };
+        // `ord` is the pool-assigned job id (submission order), so the
+        // span multiset is identical for every worker count.
+        rec.span(
+            "serve.job",
+            job_t,
+            true,
+            0,
+            0,
+            job.id as u32,
+            &[("kind", request_kind(&job.request)), ("outcome", outcome)],
+        );
+        rec.flush();
         match &result {
             Ok(JobOutcome::Output(_)) => &shared.jobs_completed,
             Ok(JobOutcome::Cancelled) => &shared.jobs_cancelled,

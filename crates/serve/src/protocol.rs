@@ -24,6 +24,22 @@
 //! * `pauli` — for `op":"expect"` (required; I/X/Y/Z per qubit,
 //!   leftmost = highest qubit).
 //!
+//! ## Stats lines (stdin)
+//!
+//! ```json
+//! {"id":"s1","op":"stats"}
+//! ```
+//!
+//! A `stats` line is a synchronization point, not a job: the server
+//! waits for every previously submitted job to finish, then answers
+//! with the pool's *deterministic* counters (jobs submitted / completed
+//! / failed / cancelled / rejected, plan-cache hits / misses /
+//! evictions / entries). Because stdin is processed serially, the
+//! counts cover exactly the jobs on the preceding lines — the response
+//! is byte-identical across runs and worker counts. Wall-clock-shaped
+//! values (queue high-water marks, scratch memo totals) are
+//! deliberately excluded; they live in the trace export.
+//!
 //! ## Response lines (stdout)
 //!
 //! Responses carry *model-level* results only (simulated seconds,
@@ -54,10 +70,35 @@ pub struct JobSpec {
     pub request: JobRequest,
 }
 
+/// One parsed stdin line: a job to schedule, or a synchronous `stats`
+/// barrier.
+#[derive(Clone, Debug)]
+pub enum JobLine {
+    /// A job for the pool.
+    Job(JobSpec),
+    /// `{"op":"stats"}`: drain the pool, then report its deterministic
+    /// counters under this response id.
+    Stats {
+        /// Client-chosen id, echoed on the response line.
+        id: String,
+    },
+}
+
 fn req_str<'j>(v: &'j Json, key: &str) -> Result<&'j str, String> {
     v.get(key)
         .and_then(Json::as_str)
         .ok_or_else(|| format!("missing or non-string '{key}'"))
+}
+
+/// Parses one NDJSON stdin line: a [`JobSpec`] or a `stats` barrier.
+pub fn parse_line(line: &str) -> Result<JobLine, String> {
+    let v = json::parse(line)?;
+    if v.get("op").and_then(Json::as_str) == Some("stats") {
+        return Ok(JobLine::Stats {
+            id: req_str(&v, "id")?.to_string(),
+        });
+    }
+    parse_job(line).map(JobLine::Job)
 }
 
 /// Parses one NDJSON job line into a [`JobSpec`].
@@ -199,6 +240,30 @@ pub fn render_response(id: &str, result: &Result<JobOutcome, AtlasError>) -> Str
     }
 }
 
+/// Renders a `stats` response line from a pool snapshot (no trailing
+/// newline). Only deterministic counters appear: with stdin processed
+/// serially, each value is a pure function of the preceding job lines.
+pub fn render_stats(id: &str, stats: &crate::pool::PoolStats) -> String {
+    format!(
+        concat!(
+            r#"{{"id":"{id}","ok":true,"op":"stats","#,
+            r#""jobs":{{"submitted":{sub},"completed":{comp},"failed":{fail},"#,
+            r#""cancelled":{canc},"rejected":{rej}}},"#,
+            r#""plan_cache":{{"hits":{hits},"misses":{miss},"evictions":{evic},"entries":{ent}}}}}"#,
+        ),
+        id = json::escape(id),
+        sub = stats.jobs_submitted,
+        comp = stats.jobs_completed,
+        fail = stats.jobs_failed,
+        canc = stats.jobs_cancelled,
+        rej = stats.jobs_rejected,
+        hits = stats.cache_hits,
+        miss = stats.cache_misses,
+        evic = stats.cache_evictions,
+        ent = stats.cache_entries,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +349,57 @@ mod tests {
         ] {
             let err = parse_job(line).unwrap_err();
             assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_line_routes_stats_and_jobs() {
+        match parse_line(r#"{"id":"s1","op":"stats"}"#).unwrap() {
+            JobLine::Stats { id } => assert_eq!(id, "s1"),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        match parse_line(r#"{"id":"a","tenant":"t","op":"plan","family":"ghz","n":6}"#).unwrap() {
+            JobLine::Job(spec) => assert_eq!(spec.id, "a"),
+            other => panic!("expected job, got {other:?}"),
+        }
+        // A stats line still needs an id; jobs keep their own checks.
+        assert!(parse_line(r#"{"op":"stats"}"#)
+            .unwrap_err()
+            .contains("'id'"));
+        assert!(parse_line(r#"{"id":"x"}"#)
+            .unwrap_err()
+            .contains("'tenant'"));
+    }
+
+    #[test]
+    fn stats_response_is_deterministic_json() {
+        let stats = crate::pool::PoolStats {
+            jobs_submitted: 5,
+            jobs_completed: 4,
+            jobs_failed: 1,
+            cache_hits: 3,
+            cache_misses: 2,
+            cache_entries: 2,
+            // Wall-clock-shaped fields must not leak into the line.
+            max_queued: 17,
+            scratch_table_hits: 999,
+            workers: 8,
+            ..Default::default()
+        };
+        let line = render_stats("s \"1\"", &stats);
+        assert!(!line.contains('\n'));
+        let v = json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        assert_eq!(v.get("id").unwrap().as_str(), Some("s \"1\""));
+        assert_eq!(
+            v.get("jobs").unwrap().get("submitted").unwrap().as_u64(),
+            Some(5)
+        );
+        assert_eq!(
+            v.get("plan_cache").unwrap().get("hits").unwrap().as_u64(),
+            Some(3)
+        );
+        for needle in ["max_queued", "scratch", "workers", "17", "999"] {
+            assert!(!line.contains(needle), "nondeterministic leak: {needle}");
         }
     }
 

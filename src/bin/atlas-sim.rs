@@ -85,6 +85,12 @@ struct Args {
     trajectories: usize,
     /// `--trajectories` appeared explicitly (conflict checks).
     trajectories_set: bool,
+    /// `--trace FILE`: write a telemetry trace of the run.
+    trace: Option<String>,
+    /// `--trace-format`: trace file format (default ndjson).
+    trace_format: TraceFormat,
+    /// `--trace-format` appeared explicitly (conflict checks).
+    trace_format_set: bool,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -135,7 +141,18 @@ MODE:
     --profile           print each bulk-synchronous step's timing
                         breakdown (compute/comm/swap seconds + bytes
                         moved intra/inter node) as JSON lines on
-                        stderr; stdout is unchanged
+                        stderr, under an atlas-stage-timing/2 schema
+                        header; stdout is unchanged
+
+TRACE (wall-clock telemetry; model-level outputs are unchanged):
+    --trace <file>      record per-worker spans (kernel apply, all-to-all
+                        reshuffles, barrier waits), planner/sampler/serve
+                        phases and the metrics registry, then write them
+                        to <file> on exit; stdout stays byte-identical
+                        with or without this flag
+    --trace-format <f>  ndjson (default; atlas-trace/1 schema, one event
+                        per line) or chrome (trace_event JSON — load the
+                        file in ui.perfetto.dev or chrome://tracing)
 
 MEASUREMENTS (functional Atlas runs; computed on the sharded state):
     --top <k>           print the k most probable outcomes (default 8)
@@ -157,11 +174,12 @@ SERVE (multi-tenant session pool; NDJSON stdin -> stdout):
     --cache <k>         compiled-plan LRU cache capacity (default 32)
 
 --dry and --plan contradict --top/--shots/--seed/--expect, --baseline
-contradicts --shots/--seed/--expect/--backend, --sweep contradicts
---dry/--plan/--baseline, --backend stabilizer and --noise contradict
-the clock-model flags (--dry/--plan/--sweep/--profile); serve
-contradicts every circuit, mode and measurement flag; such
-combinations are rejected with exit code 2.
+contradicts --shots/--seed/--expect/--backend/--trace, --sweep
+contradicts --dry/--plan/--baseline, --backend stabilizer and --noise
+contradict the clock-model flags (--dry/--plan/--sweep/--profile),
+--trace-format needs --trace; serve contradicts every circuit, mode
+and measurement flag (but keeps --trace); such combinations are
+rejected with exit code 2.
 
 EXIT CODES:
     0 success                 4 staging failed
@@ -202,6 +220,9 @@ fn parse_args() -> Result<Args, String> {
         noise: 0.0,
         trajectories: 8,
         trajectories_set: false,
+        trace: None,
+        trace_format: TraceFormat::Ndjson,
+        trace_format_set: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -267,6 +288,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--sweep" => args.sweep = take(&mut i)?.parse().map_err(|e| format!("--sweep: {e}"))?,
             "--profile" => args.profile = true,
+            "--trace" => args.trace = Some(take(&mut i)?),
+            "--trace-format" => {
+                args.trace_format = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--trace-format: {e}"))?;
+                args.trace_format_set = true;
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -303,6 +331,9 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
         }
         f.join("/")
     };
+    if args.trace_format_set && args.trace.is_none() {
+        return Err("--trace-format selects the --trace file format; it needs --trace".to_string());
+    }
     if args.serve {
         if args.family.is_some() || args.qasm_path.is_some() {
             return Err("serve reads its circuits from NDJSON job lines; \
@@ -356,6 +387,12 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
         return Err(
             "--baseline comparators have no sharded measurement engine; \
              --shots/--seed/--expect need the Atlas path"
+                .to_string(),
+        );
+    }
+    if args.baseline.is_some() && args.trace.is_some() {
+        return Err(
+            "--baseline comparators bypass the instrumented Atlas path; it contradicts --trace"
                 .to_string(),
         );
     }
@@ -468,13 +505,24 @@ fn usage_error(msg: &str) -> ExitCode {
 /// likewise answer in-band. The process exits 0 as long as the stream
 /// itself was served.
 fn run_serve(args: &Args) -> ExitCode {
-    use atlas::serve::{json, parse_job, render_response, ServeConfig, SessionPool};
+    use atlas::serve::{
+        json, parse_line, render_response, render_stats, JobLine, ServeConfig, SessionPool,
+    };
     use std::io::BufRead;
 
     // One thread per job by default: serve parallelizes across workers,
     // not inside a job (results are identical either way).
     let threads = if args.threads_set { args.threads } else { 1 };
-    let cfg = match AtlasConfig::builder().threads(threads).build() {
+    let recorder = if args.trace.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::default()
+    };
+    let cfg = match AtlasConfig::builder()
+        .threads(threads)
+        .recorder(recorder.clone())
+        .build()
+    {
         Ok(c) => c,
         Err(e) => return error_exit(&e),
     };
@@ -516,17 +564,27 @@ fn run_serve(args: &Args) -> ExitCode {
         if line.trim().is_empty() {
             continue;
         }
-        match parse_job(&line) {
+        match parse_line(&line) {
             Err(e) => pending.push(Pending::Ready(format!(
                 r#"{{"id":null,"ok":false,"kind":"parse-error","error":"{}"}}"#,
                 json::escape(&e)
             ))),
+            // A stats line is a synchronous barrier: stdin is processed
+            // serially, so draining the pool here makes the snapshot a
+            // pure function of the preceding job lines — deterministic
+            // for any --workers.
+            Ok(JobLine::Stats { id }) => {
+                pool.wait_idle();
+                pending.push(Pending::Ready(render_stats(&id, &pool.stats())));
+            }
             // Backpressure: block for queue space rather than dropping
             // jobs read from a pipe.
-            Ok(job) => match pool.submit_blocking(&job.tenant, job.circuit, job.request) {
-                Ok(handle) => pending.push(Pending::Waiting(job.id, handle)),
-                Err(e) => return error_exit(&e),
-            },
+            Ok(JobLine::Job(job)) => {
+                match pool.submit_blocking(&job.tenant, job.circuit, job.request) {
+                    Ok(handle) => pending.push(Pending::Waiting(job.id, handle)),
+                    Err(e) => return error_exit(&e),
+                }
+            }
         }
     }
     for slot in pending {
@@ -556,7 +614,7 @@ fn run_serve(args: &Args) -> ExitCode {
         "scratch : offset-table memo {} hit(s) / {} miss(es), {} eviction(s)",
         stats.scratch_table_hits, stats.scratch_table_misses, stats.scratch_table_evictions
     );
-    ExitCode::SUCCESS
+    finish_with_trace(args, &recorder, "statevec", threads)
 }
 
 fn main() -> ExitCode {
@@ -582,12 +640,21 @@ fn main() -> ExitCode {
     // incoherent configuration (seed without shots, zero threads, …) is
     // a usage error that must reject before any banner reaches stdout.
     // Coherence rules live in the AtlasConfig builder, not here.
+    // The recorder is enabled iff `--trace` asked for it: disabled, every
+    // instrumentation site is one branch; enabled, wall-clock rides the
+    // trace channel only, so stdout stays byte-identical either way.
+    let recorder = if args.trace.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::default()
+    };
     let mut builder = AtlasConfig::builder()
         .threads(args.threads)
         .shots(args.shots)
         .backend(args.backend)
         .noise(args.noise)
-        .trajectories(args.trajectories);
+        .trajectories(args.trajectories)
+        .recorder(recorder.clone());
     if args.seed_set {
         builder = builder.seed(args.seed);
     }
@@ -699,7 +766,7 @@ fn main() -> ExitCode {
         };
         print_report(&o.report);
         if args.profile {
-            print_profile(&o.report);
+            print_profile(&o.report, b);
         }
         // Baselines gather a dense state; `--top` stays available.
         if let Some(state) = o.state {
@@ -745,7 +812,7 @@ fn main() -> ExitCode {
                 sp.stage.partition.local
             );
         }
-        return ExitCode::SUCCESS;
+        return finish_with_trace(&args, &recorder, "statevec", args.threads);
     }
 
     println!(
@@ -758,9 +825,9 @@ fn main() -> ExitCode {
         let report = compiled.dry_run();
         print_report(&report);
         if args.profile {
-            print_profile(&report);
+            print_profile(&report, "statevec");
         }
-        return ExitCode::SUCCESS;
+        return finish_with_trace(&args, &recorder, "statevec", args.threads);
     }
 
     if args.sweep > 0 {
@@ -783,12 +850,12 @@ fn main() -> ExitCode {
                 t_exec.elapsed().as_secs_f64()
             );
             if args.profile {
-                print_profile(&run.report);
+                print_profile(&run.report, "statevec");
             }
             println!("point {i} :");
             print_measurements(&run.measurements, run.samples, &args, &paulis, n);
         }
-        return ExitCode::SUCCESS;
+        return finish_with_trace(&args, &recorder, "statevec", args.threads);
     }
 
     let run = match compiled.execute(&circuit) {
@@ -797,10 +864,10 @@ fn main() -> ExitCode {
     };
     print_report(&run.report);
     if args.profile {
-        print_profile(&run.report);
+        print_profile(&run.report, "statevec");
     }
     print_measurements(&run.measurements, run.samples, &args, &paulis, n);
-    ExitCode::SUCCESS
+    finish_with_trace(&args, &recorder, "statevec", args.threads)
 }
 
 /// The stabilizer (CHP tableau) functional path: no machine shape, no
@@ -814,6 +881,7 @@ fn run_stabilizer_path(
     cfg: AtlasConfig,
     paulis: &[PauliString],
 ) -> ExitCode {
+    let recorder = cfg.recorder.clone();
     let n = circuit.num_qubits();
     if args.top_set && n > 30 {
         return usage_error(&format!(
@@ -882,7 +950,7 @@ fn run_stabilizer_path(
             println!("support : 2^{pivots} basis state(s) with nonzero amplitude");
         }
     }
-    ExitCode::SUCCESS
+    finish_with_trace(args, &recorder, "stabilizer", args.threads)
 }
 
 /// The Pauli-twirled stochastic-trajectory path (`--noise p`): one
@@ -895,6 +963,7 @@ fn run_noisy_path(
     cfg: AtlasConfig,
     paulis: &[PauliString],
 ) -> ExitCode {
+    let recorder = cfg.recorder.clone();
     let n = circuit.num_qubits();
     let spec = MachineSpec {
         nodes: args.nodes,
@@ -957,7 +1026,8 @@ fn run_noisy_path(
         counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         print_word_counts(&counts, out.shots, n);
     }
-    ExitCode::SUCCESS
+    let backend = plan.backend_name();
+    finish_with_trace(args, &recorder, backend, args.threads)
 }
 
 fn print_circuit_banner(circuit: &Circuit, n: u32) {
@@ -1030,11 +1100,73 @@ fn print_report(report: &atlas::machine::MachineReport) {
     );
 }
 
-/// `--profile`: one JSON object per bulk-synchronous step on stderr, in
-/// execution order — compute steps alternate with all-to-all transitions.
-/// Stderr keeps stdout byte-deterministic for diffing across thread
-/// counts; JSON lines make the breakdown machine-consumable (`jq -s`).
-fn print_profile(report: &atlas::machine::MachineReport) {
+/// Host CPU count (the `--threads`/`--workers` default).
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// `--trace FILE`: drains the recorder and writes the trace (no-op
+/// without the flag). The same `StageTiming` charge sites feed both this
+/// trace's `machine.step` counters and `--profile`'s per-step lines, so
+/// the two views can never disagree.
+fn write_trace(
+    args: &Args,
+    recorder: &Recorder,
+    backend: &str,
+    threads: usize,
+) -> Result<(), String> {
+    let Some(path) = args.trace.as_deref() else {
+        return Ok(());
+    };
+    let meta = TraceMeta {
+        source: if args.serve {
+            "atlas-serve"
+        } else {
+            "atlas-sim"
+        }
+        .to_string(),
+        backend: backend.to_string(),
+        host_cpus: host_cpus(),
+        threads,
+    };
+    let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+    let mut w = std::io::BufWriter::new(file);
+    atlas::telemetry::export(recorder, &mut w, args.trace_format, &meta)
+        .map_err(|e| format!("--trace {path}: {e}"))?;
+    eprintln!(
+        "trace   : wrote {} trace to {path} ({} event(s) dropped)",
+        args.trace_format.name(),
+        recorder.dropped()
+    );
+    Ok(())
+}
+
+/// [`write_trace`] at a success exit: any I/O failure downgrades the
+/// run to a generic runtime failure.
+fn finish_with_trace(args: &Args, recorder: &Recorder, backend: &str, threads: usize) -> ExitCode {
+    match write_trace(args, recorder, backend, threads) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--profile`: a schema header, then one JSON object per
+/// bulk-synchronous step on stderr, in execution order — compute steps
+/// alternate with all-to-all transitions. Stderr keeps stdout
+/// byte-deterministic for diffing across thread counts; JSON lines make
+/// the breakdown machine-consumable (`jq -s`). The per-step values are
+/// the same `StageTiming`s the telemetry layer's `machine.step` counters
+/// carry — one charge site feeds both.
+fn print_profile(report: &atlas::machine::MachineReport, backend: &str) {
+    eprintln!(
+        "{{\"schema\":\"atlas-stage-timing/2\",\"backend\":\"{backend}\",\
+         \"host_cpus\":{},\"steps\":{}}}",
+        host_cpus(),
+        report.per_step.len()
+    );
     for (i, st) in report.per_step.iter().enumerate() {
         eprintln!(
             "{{\"stage\":{i},\"compute_secs\":{:.9},\"comm_secs\":{:.9},\"swap_secs\":{:.9},\

@@ -15,6 +15,7 @@ pub use atlas_sampler as sampler;
 pub use atlas_serve as serve;
 pub use atlas_stabilizer as stabilizer;
 pub use atlas_statevec as statevec;
+pub use atlas_telemetry as telemetry;
 
 /// The names most programs need.
 pub mod prelude {
@@ -30,4 +31,5 @@ pub mod prelude {
     pub use atlas_qmath::Complex64;
     pub use atlas_sampler::{Measurements, PauliString};
     pub use atlas_statevec::{simulate_reference, StateVector};
+    pub use atlas_telemetry::{MetricsRegistry, Recorder, TraceFormat, TraceMeta};
 }

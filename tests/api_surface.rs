@@ -26,6 +26,7 @@ const CRATES: &[&str] = &[
     "crates/sampler",
     "crates/serve",
     "crates/stabilizer",
+    "crates/telemetry",
 ];
 
 /// Recursively collects `.rs` files under `dir`, sorted for stability.
@@ -156,6 +157,16 @@ fn snapshot_contains_session_api() {
         "pub trait SimulatorBackend",
         "pub struct Tableau",
         "pub enum BackendKind",
+        // The telemetry layer's load-bearing exports: the recorder handle
+        // AtlasConfig carries, the unified counter registry, the export
+        // formats, and the cross-schedule determinism witness.
+        "pub struct Recorder",
+        "pub struct MetricsRegistry",
+        "pub enum TraceFormat",
+        "pub struct TraceMeta",
+        "pub fn det_signature",
+        "pub enum JobLine",
+        "pub fn render_stats",
     ] {
         assert!(
             want.contains(needle),

@@ -276,3 +276,72 @@ fn warm_machine_execute_and_relayout_allocate_no_buffers() {
     // And the engine still computes the right amplitudes.
     assert!(machine.gather_state().is_normalized(1e-9));
 }
+
+#[test]
+fn enabled_recorder_steady_state_records_without_allocating() {
+    // The telemetry contract: attaching a live recorder keeps the warm
+    // execution hot path at ZERO heap allocations — events go into
+    // fixed-capacity thread-local buffers and drain into a pre-reserved
+    // sink, and metric republication only updates counter slots the
+    // warm-up pass created. Relayout keeps the same bar as the
+    // recorder-off test above: no amplitude-sized buffers.
+    let n = 10u32;
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 7,
+    };
+    let reference = dense_state(n);
+    let mut machine = Machine::with_state(spec, CostModel::default(), &reference);
+    let recorder = Recorder::enabled();
+    machine.set_recorder(recorder.clone());
+
+    let h = Gate::new(GateKind::H, &[1]).matrix();
+    let programs: Vec<ShardProgram> = (0..machine.num_shards())
+        .map(|_| {
+            vec![ShardOp::Fusion {
+                qubits: Arc::new(vec![1]),
+                kernel: Arc::new(classify_kernel(&h)),
+                scale: Complex64::ONE,
+            }]
+        })
+        .collect();
+    let mut map: Vec<u32> = (0..n).collect();
+    map.swap(2, 8);
+    let perm = QubitPermutation::from_map(map);
+
+    // Warm-up: builds the scratch arena, the recorder's thread-local
+    // event buffer, and the metric registry's counter slots.
+    machine.run_shard_programs(&programs, &Pool::SERIAL);
+    machine.permute_state(&perm, 0);
+    machine.permute_state(&perm, 0);
+    machine.stage_barrier();
+
+    let before_large = large_allocs();
+    let before = allocs();
+    machine.run_shard_programs(&programs, &Pool::SERIAL);
+    let kernel_delta = allocs() - before;
+    machine.permute_state(&perm, 0);
+    machine.permute_state(&perm, 0);
+    let large_delta = large_allocs() - before_large;
+    assert_eq!(
+        kernel_delta, 0,
+        "recording-enabled steady state performed {kernel_delta} heap allocations"
+    );
+    assert_eq!(
+        large_delta, 0,
+        "recording-enabled relayout allocated {large_delta} amplitude-sized buffers"
+    );
+
+    // The measured region really recorded: every second-pass event is in
+    // the sink (nothing overflowed), alongside the warm-up pass's.
+    assert_eq!(recorder.dropped(), 0);
+    let events = recorder.drain();
+    let kernel_spans = events.iter().filter(|e| e.name == "kernel.apply").count();
+    let reshuffles = events
+        .iter()
+        .filter(|e| e.name == "machine.reshuffle")
+        .count();
+    assert_eq!(kernel_spans, 2 * machine.num_shards());
+    assert_eq!(reshuffles, 4);
+}
