@@ -1,0 +1,44 @@
+//! # atlas-analyze
+//!
+//! Static analysis over *compiled* Atlas plans: a post-PARTITION verifier
+//! that turns the paper's planning constraints — and the prose safety
+//! arguments inside the executor's `unsafe` blocks — into machine-checked
+//! invariants on the actual artifact the machine will run.
+//!
+//! The rest of the workspace checks these properties dynamically
+//! (proptests over small random circuits, `debug_assert!`s on hot paths).
+//! This crate checks them *totally*, on every plan, before it executes:
+//!
+//! * [`verify::verify_plan`] walks a [`FullPlan`](atlas_core::exec::FullPlan)
+//!   and proves stage covering and insularity (Constraint 1 / Theorems 3
+//!   and 6), per-stage mapping bijectivity and class ranges, reshuffle
+//!   permutation bijectivity, compiled-template consistency, stage-barrier
+//!   program ordering, and clock-model conservation (the charged Eq. 12
+//!   cost matches the kernel inventory).
+//! * [`effect`] effect-types every [`ShardOp`](atlas_machine::ShardOp) of
+//!   the per-shard programs — the read/write amplitude index sets each
+//!   instruction touches — and proves pairwise disjointness of concurrent
+//!   shard write sets. That discharges, statically, the aliasing argument
+//!   the `ShardCell`/`AmpCell` `unsafe` blocks in `atlas-machine` and
+//!   `atlas-statevec` make in comments.
+//!
+//! Violations are typed [`Violation`]s carrying op coordinates
+//! (stage / kernel / shard / op), convertible into
+//! [`AtlasError::InvalidPlan`](atlas_error::AtlasError) so they flow
+//! through the workspace's existing error surface (CLI exit code 6, serve
+//! job failures). The verifier runs after every plan under
+//! `debug_assertions`, behind `atlas-sim --analyze` in release, and as the
+//! serve pool's cache admission gate — a plan that fails verification is
+//! never cached, so it can never be replayed cross-tenant.
+//!
+//! See `docs/ANALYSIS.md` for the invariant catalogue mapped to paper
+//! sections, plus the companion `atlas-lint` determinism lint.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod effect;
+pub mod verify;
+
+pub use effect::{effect_of, OpEffect, WriteSet};
+pub use verify::{verify_plan, verify_stage_programs, Invariant, VerifyReport, Violation};

@@ -20,6 +20,8 @@
 //! executable and validated against the reference simulator; `hyquas`
 //! inherits functional correctness from the Atlas executor.
 
+#![forbid(unsafe_code)]
+
 pub mod qdao;
 pub mod swap_based;
 

@@ -6,6 +6,8 @@
 //! a QASM-subset reader/writer, and parameterized generators for the
 //! benchmark families of Table I / Table II.
 
+#![forbid(unsafe_code)]
+
 pub mod circuit;
 pub mod gate;
 pub mod generators;

@@ -1,0 +1,25 @@
+//! Deterministic hash containers for plan-affecting code.
+//!
+//! `std`'s default `HashMap`/`HashSet` seed their hasher per process
+//! (`RandomState`), so iteration order — and anything derived from it —
+//! varies run to run. Planning code must be bit-reproducible: where a map
+//! participates in (or could grow into) a plan-affecting decision, use
+//! these aliases instead. `DefaultHasher` is SipHash with fixed keys, so
+//! two processes build identical tables and iterate them identically.
+//! (HashDoS resistance is irrelevant here — keys are internal planner
+//! state, not attacker input.)
+//!
+//! The `atlas-lint` binary's `default-hasher` rule enforces this
+//! convention mechanically across every module of `atlas-core`: any
+//! `HashMap`/`HashSet` constructed with the default hasher in this crate
+//! is a lint violation unless it carries a justified
+//! `// lint: allow(default-hasher)` escape.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::BuildHasherDefault;
+
+/// `HashMap` with a fixed-seed hasher (process-independent iteration).
+pub(crate) type DetMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<DefaultHasher>>;
+
+/// `HashSet` with a fixed-seed hasher (process-independent iteration).
+pub(crate) type DetSet<K> = std::collections::HashSet<K, BuildHasherDefault<DefaultHasher>>;

@@ -21,6 +21,7 @@
 //! for free, plus a per-shard scalar.
 
 use crate::config::AtlasConfig;
+use crate::detmap::DetMap;
 use crate::kernelize::{self, KGate, KernelCost, Kernelization};
 use crate::plan::{Kernel, KernelKind, Stage};
 use crate::staging::{self, StagingOutcome};
@@ -29,7 +30,6 @@ use atlas_error::AtlasError;
 use atlas_machine::{CostModel, Machine, ShardOp, ShardProgram};
 use atlas_qmath::{Complex64, Matrix, QubitPermutation};
 use atlas_statevec::{classify_kernel, FastKernel, Pool};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One non-local (insular) qubit of a gate, read per shard.
@@ -503,7 +503,12 @@ fn execute_stage(
 /// This is deliberately independent of the thread count — serial and
 /// parallel execution run the *same* programs, which is what makes the
 /// engine's output bit-identical across thread counts.
-fn build_stage_programs(
+///
+/// Public so `atlas-analyze` can effect-type the exact instruction
+/// sequences the machine will run (and so tests can corrupt them):
+/// the verifier proves per-shard write-set disjointness on this
+/// output, not on a re-derivation of it.
+pub fn build_stage_programs(
     circuit: &Circuit,
     sp: &StagePlan,
     l: u32,
@@ -511,7 +516,7 @@ fn build_stage_programs(
 ) -> Vec<ShardProgram> {
     // Per-shard scalar from the fully-reduced gates.
     let mut shard_scalars: Vec<Complex64> = vec![Complex64::ONE; num_shards];
-    let mut cache: HashMap<(usize, u64), Complex64> = HashMap::new();
+    let mut cache: DetMap<(usize, u64), Complex64> = DetMap::default();
     for (si, st) in sp.scalars.iter().enumerate() {
         let gate = &circuit.gates()[st.circuit_gate];
         for (s, acc) in shard_scalars.iter_mut().enumerate() {
@@ -534,7 +539,7 @@ fn build_stage_programs(
         match kernel.kind {
             KernelKind::Fusion => {
                 let qubits = Arc::new(kernel.qubits.clone());
-                let mut compiled: HashMap<u64, Arc<FastKernel>> = HashMap::new();
+                let mut compiled: DetMap<u64, Arc<FastKernel>> = DetMap::default();
                 for (s, prog) in programs.iter_mut().enumerate() {
                     let key = kernel_pattern(sp, kernel, s as u64, l);
                     let fk = compiled
@@ -565,7 +570,7 @@ fn build_stage_programs(
                 // same part list — build each distinct list once and share
                 // it by Arc (the per-shard scalar stays a separate field
                 // precisely so the parts can be shared).
-                let mut compiled: HashMap<u64, Arc<atlas_machine::ShmPartList>> = HashMap::new();
+                let mut compiled: DetMap<u64, Arc<atlas_machine::ShmPartList>> = DetMap::default();
                 for (s, prog) in programs.iter_mut().enumerate() {
                     let key = kernel_pattern(sp, kernel, s as u64, l);
                     let parts = compiled

@@ -30,24 +30,19 @@ use super::{
     Kernelization,
 };
 use crate::plan::{Kernel, KernelKind};
-use std::collections::HashMap;
-use std::hash::BuildHasherDefault;
 
-/// Deterministically-seeded hash map for the DP state population.
-///
-/// The std `RandomState` hasher randomizes iteration order per map
-/// instance, and this DP breaks cost *ties* by iteration order (snapshot
-/// order decides which equal-cost state reaches `next` first, and
-/// `min_by` returns the first minimum) — with random seeds, two identical
-/// `kernelize` calls could return different equally-optimal
-/// kernelizations, making end-to-end amplitudes differ at the ulp level
-/// between runs. A fixed-key hasher makes tie-breaking reproducible,
-/// which the executor's bit-identical-across-thread-counts guarantee
-/// relies on. (HashDoS resistance is irrelevant: keys are internal DP
-/// state, not attacker input.)
-type DetMap<K, V> = HashMap<K, V, BuildHasherDefault<std::collections::hash_map::DefaultHasher>>;
-type DetSet<K> =
-    std::collections::HashSet<K, BuildHasherDefault<std::collections::hash_map::DefaultHasher>>;
+// Deterministically-seeded hash containers for the DP state population.
+//
+// The std `RandomState` hasher randomizes iteration order per map
+// instance, and this DP breaks cost *ties* by iteration order (snapshot
+// order decides which equal-cost state reaches `next` first, and
+// `min_by` returns the first minimum) — with random seeds, two identical
+// `kernelize` calls could return different equally-optimal
+// kernelizations, making end-to-end amplitudes differ at the ulp level
+// between runs. A fixed-key hasher makes tie-breaking reproducible,
+// which the executor's bit-identical-across-thread-counts guarantee
+// relies on.
+use crate::detmap::{DetMap, DetSet};
 
 /// Sentinel for "extensible set = all qubits".
 const ALL: u64 = u64::MAX;

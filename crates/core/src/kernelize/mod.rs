@@ -146,7 +146,7 @@ pub fn attach_single_qubit_gates(gates: &[KGate], max_item_qubits: u32) -> Vec<D
     }
     let mut appended_fallback = false;
     // For each qubit, the items (hosts) touching it, in sequence order.
-    let mut hosts_on_qubit: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+    let mut hosts_on_qubit: crate::detmap::DetMap<u32, Vec<usize>> = Default::default();
     for (it, &pos) in host_positions.iter().enumerate() {
         let mut m = gates[pos].mask;
         while m != 0 {
@@ -212,8 +212,8 @@ pub fn toposort_kernels(gates: &[KGate], mut kernels: Vec<Kernel>) -> Vec<Kernel
             kernel_of_gate[g] = ki;
         }
     }
-    let mut edges: std::collections::HashSet<(usize, usize)> = Default::default();
-    let mut last_on_qubit: std::collections::HashMap<u32, usize> = Default::default();
+    let mut edges: crate::detmap::DetSet<(usize, usize)> = Default::default();
+    let mut last_on_qubit: crate::detmap::DetMap<u32, usize> = Default::default();
     for (j, g) in gates.iter().enumerate() {
         let kj = kernel_of_gate[j];
         debug_assert_ne!(kj, usize::MAX, "gate {j} not covered by any kernel");

@@ -32,9 +32,11 @@
 //! [`AtlasError`] (re-exported from `atlas-error`).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod backend;
 pub mod config;
+mod detmap;
 pub mod exec;
 pub mod kernelize;
 pub mod noise;

@@ -220,6 +220,12 @@ impl Planner {
         &self.cfg
     }
 
+    /// The cost model plans are priced under (the `atlas-analyze`
+    /// verifier replays it to prove clock-model conservation).
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
     /// PARTITION (Algorithm 1 lines 1–8): stage, map, specialize and
     /// kernelize `circuit`, returning a reusable [`CompiledPlan`].
     ///
@@ -301,6 +307,11 @@ impl CompiledPlan {
     /// The configuration the plan was compiled under.
     pub fn config(&self) -> &AtlasConfig {
         &self.cfg
+    }
+
+    /// The cost model the plan was priced under.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
     }
 
     /// Number of stages.

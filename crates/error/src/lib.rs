@@ -17,6 +17,7 @@
 //! offline with no external dependencies.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::fmt;
 

@@ -18,6 +18,8 @@
 //!   [`Infeasible`](SolveStatus::Infeasible) /
 //!   [`Unknown`](SolveStatus::Unknown)).
 
+#![forbid(unsafe_code)]
+
 pub mod model;
 pub mod solver;
 

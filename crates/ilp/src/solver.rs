@@ -273,7 +273,11 @@ impl<'m> Search<'m> {
 pub fn solve(model: &Model, config: &SolverConfig) -> Solution {
     let mut s = Search::new(model);
     s.in_queue = vec![false; s.cons.len()];
-    let start = Instant::now();
+    // Only touch the wall clock when a time limit was actually requested:
+    // the default deterministic path (`time_limit: None`) must not depend
+    // on — or even observe — real time.
+    // lint: allow(wall-clock) — gated on an explicit opt-in time budget.
+    let start = config.time_limit.map(|_| Instant::now());
 
     // Root propagation: seed every constraint once.
     for ci in 0..s.cons.len() as u32 {
@@ -303,7 +307,10 @@ pub fn solve(model: &Model, config: &SolverConfig) -> Solution {
                 s.nodes += 1;
                 if s.nodes >= config.node_limit
                     || (s.nodes.is_multiple_of(1024)
-                        && config.time_limit.is_some_and(|t| start.elapsed() >= t))
+                        && config
+                            .time_limit
+                            .zip(start)
+                            .is_some_and(|(t, s0)| s0.elapsed() >= t))
                 {
                     budget_hit = true;
                     break 'search;

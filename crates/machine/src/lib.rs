@@ -19,6 +19,7 @@
 //! (see [`traffic`]).
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cost;
 pub mod machine;

@@ -11,6 +11,7 @@
 //! heap traffic, per the project's HPC guidelines.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bits;
 pub mod complex;

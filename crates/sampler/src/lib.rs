@@ -34,6 +34,7 @@
 //! [`Machine::resolve_targets`]: atlas_machine::Machine::resolve_targets
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod pauli;

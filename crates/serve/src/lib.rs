@@ -50,6 +50,7 @@
 //! [`CompiledPlan`]: atlas_core::session::CompiledPlan
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod json;
 pub mod pool;

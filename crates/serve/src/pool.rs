@@ -254,6 +254,11 @@ pub struct PoolStats {
     pub scratch_table_misses: u64,
     /// Offset-table memo LRU evictions.
     pub scratch_table_evictions: u64,
+    /// Plans run through the `atlas-analyze` cache admission gate (once
+    /// per cache miss, under the cache lock — worker-count-invariant).
+    pub analyze_plans_checked: u64,
+    /// Plans the verifier rejected (never cached, job fails typed).
+    pub analyze_plans_rejected: u64,
 }
 
 impl PoolStats {
@@ -328,6 +333,11 @@ struct PlanCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Admission-gate outcomes (see [`plan_for`]): every freshly planned
+    /// circuit is verified before insertion, so a malformed plan can
+    /// never be cached — let alone replayed into another tenant's job.
+    analyze_checked: u64,
+    analyze_rejected: u64,
 }
 
 /// State shared between the pool handle and its workers.
@@ -393,6 +403,8 @@ impl SessionPool {
                 hits: 0,
                 misses: 0,
                 evictions: 0,
+                analyze_checked: 0,
+                analyze_rejected: 0,
             }),
             next_id: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
@@ -517,9 +529,23 @@ impl SessionPool {
     /// A snapshot of the aggregate counters.
     pub fn stats(&self) -> PoolStats {
         let shared = &self.shared;
-        let (cache_hits, cache_misses, cache_evictions, cache_entries) = {
+        let (
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            analyze_checked,
+            analyze_rejected,
+        ) = {
             let c = shared.cache.lock().unwrap();
-            (c.hits, c.misses, c.evictions, c.map.len())
+            (
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.map.len(),
+                c.analyze_checked,
+                c.analyze_rejected,
+            )
         };
         let max_queued = shared.sched.lock().unwrap().max_queued;
         let mut scratch = [0u64; 3];
@@ -543,6 +569,8 @@ impl SessionPool {
             scratch_table_hits: scratch[0],
             scratch_table_misses: scratch[1],
             scratch_table_evictions: scratch[2],
+            analyze_plans_checked: analyze_checked,
+            analyze_plans_rejected: analyze_rejected,
         };
         // Absorb the pool counters into the unified metrics registry, so
         // a trace export carries them alongside the span-level data.
@@ -556,6 +584,8 @@ impl SessionPool {
             rec.metric_set("serve.plan_cache.entries", stats.cache_entries as u64);
             rec.metric_set("serve.queue.max_depth", stats.max_queued as u64);
             rec.metric_set("serve.workers", stats.workers as u64);
+            rec.metric_set("analyze.plans_checked", stats.analyze_plans_checked);
+            rec.metric_set("analyze.plans_rejected", stats.analyze_plans_rejected);
         }
         stats
     }
@@ -609,6 +639,16 @@ fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, Atl
     cache.misses += 1;
     rec.metric_add("serve.plan_cache.misses", 1);
     let plan = Arc::new(shared.planner.plan(circuit)?);
+    // Cache admission gate: verify the freshly compiled plan before it
+    // becomes shared state. A plan that fails static analysis is never
+    // inserted, so it cannot be replayed into another tenant's job; the
+    // submitting job fails with the verifier's typed diagnostic.
+    cache.analyze_checked += 1;
+    if let Err(violation) = atlas_analyze::verify_plan(circuit, plan.plan(), plan.cost()) {
+        cache.analyze_rejected += 1;
+        rec.metric_add("analyze.plans_rejected", 1);
+        return Err(violation.into());
+    }
     if cache.map.len() >= cache.capacity {
         let coldest = cache
             .map

@@ -249,7 +249,8 @@ pub fn render_stats(id: &str, stats: &crate::pool::PoolStats) -> String {
             r#"{{"id":"{id}","ok":true,"op":"stats","#,
             r#""jobs":{{"submitted":{sub},"completed":{comp},"failed":{fail},"#,
             r#""cancelled":{canc},"rejected":{rej}}},"#,
-            r#""plan_cache":{{"hits":{hits},"misses":{miss},"evictions":{evic},"entries":{ent}}}}}"#,
+            r#""plan_cache":{{"hits":{hits},"misses":{miss},"evictions":{evic},"entries":{ent}}},"#,
+            r#""analyze":{{"plans_checked":{achk},"plans_rejected":{arej}}}}}"#,
         ),
         id = json::escape(id),
         sub = stats.jobs_submitted,
@@ -261,6 +262,8 @@ pub fn render_stats(id: &str, stats: &crate::pool::PoolStats) -> String {
         miss = stats.cache_misses,
         evic = stats.cache_evictions,
         ent = stats.cache_entries,
+        achk = stats.analyze_plans_checked,
+        arej = stats.analyze_plans_rejected,
     )
 }
 
@@ -380,6 +383,8 @@ mod tests {
             cache_hits: 3,
             cache_misses: 2,
             cache_entries: 2,
+            analyze_plans_checked: 2,
+            analyze_plans_rejected: 1,
             // Wall-clock-shaped fields must not leak into the line.
             max_queued: 17,
             scratch_table_hits: 999,
@@ -398,6 +403,9 @@ mod tests {
             v.get("plan_cache").unwrap().get("hits").unwrap().as_u64(),
             Some(3)
         );
+        let analyze = v.get("analyze").unwrap();
+        assert_eq!(analyze.get("plans_checked").unwrap().as_u64(), Some(2));
+        assert_eq!(analyze.get("plans_rejected").unwrap().as_u64(), Some(1));
         for needle in ["max_queued", "scratch", "workers", "17", "999"] {
             assert!(!line.contains(needle), "nondeterministic leak: {needle}");
         }

@@ -39,6 +39,8 @@
 //!   amplitude vector (n ≤ 30) with a canonical global phase — the
 //!   Clifford-prefix handoff into the sharded engine.
 
+#![forbid(unsafe_code)]
+
 pub mod convert;
 pub mod tableau;
 

@@ -17,6 +17,7 @@
 //! them without copies.
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod apply;
 pub mod batched;

@@ -42,6 +42,12 @@ pub const PARALLEL_ELEMENT_CUTOFF: usize = 1 << 16;
 
 /// Shared mutable amplitude slice for provably disjoint writes.
 struct AmpCell<'a>(&'a [UnsafeCell<Complex64>]);
+// SAFETY: sharing is sound because all access goes through `read`/`write`,
+// whose contracts require callers to touch only indices of groups they own
+// — the group ranges handed to threads are disjoint, and a kernel's groups
+// partition the slice (each amplitude is in exactly one group because a
+// duplicate-free qubit set decomposes the index space). `atlas-analyze`
+// checks that duplicate-freedom on every compiled op (`effect_of`).
 unsafe impl Sync for AmpCell<'_> {}
 
 impl<'a> AmpCell<'a> {
@@ -55,14 +61,16 @@ impl<'a> AmpCell<'a> {
     /// Caller must guarantee `idx` is not accessed concurrently.
     #[inline(always)]
     unsafe fn read(&self, idx: usize) -> Complex64 {
-        *self.0[idx].get()
+        // SAFETY: caller contract — no concurrent access to `idx`.
+        unsafe { *self.0[idx].get() }
     }
 
     /// # Safety
     /// Caller must guarantee `idx` is not accessed concurrently.
     #[inline(always)]
     unsafe fn write(&self, idx: usize, v: Complex64) {
-        *self.0[idx].get() = v;
+        // SAFETY: caller contract — no concurrent access to `idx`.
+        unsafe { *self.0[idx].get() = v }
     }
 }
 

@@ -35,6 +35,7 @@
 //! the serve pool totals) is appended to both.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;

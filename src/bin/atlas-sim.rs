@@ -91,6 +91,10 @@ struct Args {
     trace_format: TraceFormat,
     /// `--trace-format` appeared explicitly (conflict checks).
     trace_format_set: bool,
+    /// `--analyze`: run the atlas-analyze static plan verifier on the
+    /// compiled plan (debug builds always verify; this forces it in
+    /// release builds and prints the verification report).
+    analyze: bool,
 }
 
 const USAGE: &str = "atlas-sim — distributed quantum circuit simulation (Atlas, SC'24)
@@ -138,6 +142,14 @@ MODE:
                         parameters (same gate graph) — the session
                         API's plan-once/run-many path; per-point
                         execute times go to stderr
+    --analyze           statically verify the compiled plan with
+                        atlas-analyze before doing anything with it
+                        (kernel covers, insularity, reshuffle
+                        permutations, clock conservation, shard-write
+                        disjointness) and print the verification
+                        report to stderr; debug builds always verify,
+                        this forces it in release builds too. A
+                        rejected plan exits with code 6
     --profile           print each bulk-synchronous step's timing
                         breakdown (compute/comm/swap seconds + bytes
                         moved intra/inter node) as JSON lines on
@@ -223,6 +235,7 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         trace_format: TraceFormat::Ndjson,
         trace_format_set: false,
+        analyze: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -287,6 +300,7 @@ fn parse_args() -> Result<Args, String> {
                 args.trajectories_set = true;
             }
             "--sweep" => args.sweep = take(&mut i)?.parse().map_err(|e| format!("--sweep: {e}"))?,
+            "--analyze" => args.analyze = true,
             "--profile" => args.profile = true,
             "--trace" => args.trace = Some(take(&mut i)?),
             "--trace-format" => {
@@ -787,6 +801,19 @@ fn main() -> ExitCode {
         Err(e) => return error_exit(&e),
     };
     let plan_secs = t_plan.elapsed().as_secs_f64();
+    // Static plan verification (atlas-analyze): always in debug builds,
+    // on demand (--analyze) in release builds. A plan the verifier
+    // rejects never reaches execution.
+    if cfg!(debug_assertions) || args.analyze {
+        match atlas::analyze::verify_plan(&circuit, compiled.plan(), compiled.cost()) {
+            Ok(report) => {
+                if args.analyze {
+                    eprintln!("analyze : ok — {report}");
+                }
+            }
+            Err(violation) => return error_exit(&violation.into()),
+        }
+    }
     let plan = compiled.plan();
     // Budget-limited plans must be visible, not silent: the generic
     // ILP's verdict rides on the plan (`None` for the other stagers).

@@ -5,6 +5,7 @@
 //! between the README and the API.
 #![doc = include_str!("../README.md")]
 
+pub use atlas_analyze as analyze;
 pub use atlas_baselines as baselines;
 pub use atlas_circuit as circuit;
 pub use atlas_core as core;

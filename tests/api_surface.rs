@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 
 const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/api_surface.txt");
 const CRATES: &[&str] = &[
+    "crates/analyze",
     "crates/core",
     "crates/sampler",
     "crates/serve",
