@@ -87,6 +87,7 @@ fn run_pooled(base: &atlas_circuit::Circuit, tenants: usize, jobs: usize) -> (f6
             workers: 1,
             queue_capacity: tenants * jobs,
             cache_capacity: 8,
+            ..ServeConfig::default()
         },
     )
     .expect("pool");

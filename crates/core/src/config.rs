@@ -61,6 +61,102 @@ impl std::str::FromStr for BackendKind {
     }
 }
 
+/// A peak-memory admission budget for functional EXECUTE requests.
+///
+/// A functional run of an `n`-qubit circuit allocates, at peak, the
+/// sharded state (`2^n` amplitudes × 16 bytes), the ping-pong spare used
+/// by state reshuffles (a full second copy), and one shard of local
+/// scratch (`2^L` amplitudes × 16 bytes). The budget computes that peak
+/// **before** any allocation and rejects the request with a typed
+/// [`AtlasError::ResourceExhausted`] instead of letting the allocator
+/// abort the process — the admission gate of the session API, the serve
+/// pool and the CLI.
+///
+/// Dry runs never allocate amplitudes and are never gated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBudget {
+    bytes: u64,
+}
+
+impl MemoryBudget {
+    /// The sharded engine's own functional ceiling: 30 qubits at any
+    /// shard layout (state + spare + one full-width scratch shard =
+    /// 3 × 2^30 × 16 bytes = 48 GiB). Budgets above this are clamped —
+    /// the engine cannot index wider functional states regardless of
+    /// available RAM.
+    pub const ENGINE_CEILING: u64 = 3 * 16 * (1 << 30);
+
+    /// The single-host default used by the `atlas-sim` CLI: 3 GiB of
+    /// peak state, which admits exactly the circuits the historical
+    /// `n > 26` auto-dry heuristic admitted (26 qubits at any `L ≤ 26`).
+    pub const SINGLE_HOST: u64 = 3 * 16 * (1 << 26);
+
+    /// A budget of `bytes` peak bytes per functional request.
+    pub fn bytes(bytes: u64) -> Self {
+        MemoryBudget { bytes }
+    }
+
+    /// The configured limit in bytes (before the engine-ceiling clamp).
+    pub fn limit(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Peak bytes a functional `n`-qubit run allocates under `L` local
+    /// qubits per device: state + ping-pong spare + one scratch shard.
+    /// Saturates at `u64::MAX` for unrepresentable widths.
+    pub fn peak_bytes(n: u32, local_qubits: u32) -> u64 {
+        let amp = |q: u32| -> u128 { 16u128 << q.min(63) };
+        let peak = 2 * amp(n) + amp(local_qubits.min(n));
+        u64::try_from(peak).unwrap_or(u64::MAX)
+    }
+
+    /// The budget actually enforced: the configured limit clamped to
+    /// [`ENGINE_CEILING`](MemoryBudget::ENGINE_CEILING).
+    pub fn enforced(&self) -> u64 {
+        self.bytes.min(Self::ENGINE_CEILING)
+    }
+
+    /// Whether an `n`-qubit functional run fits the budget.
+    pub fn admits(&self, n: u32, local_qubits: u32) -> bool {
+        Self::peak_bytes(n, local_qubits) <= self.enforced()
+    }
+
+    /// Gates an `n`-qubit functional run: `Ok(())` when it fits,
+    /// [`AtlasError::ResourceExhausted`] with the exact peak and budget
+    /// otherwise.
+    pub fn admit(&self, n: u32, local_qubits: u32) -> Result<(), AtlasError> {
+        if self.admits(n, local_qubits) {
+            Ok(())
+        } else {
+            Err(AtlasError::ResourceExhausted {
+                needed: Self::peak_bytes(n, local_qubits),
+                budget: self.enforced(),
+            })
+        }
+    }
+
+    /// The widest circuit the budget admits under `L` local qubits per
+    /// device (`0` when even one qubit is over budget) — what the CLI
+    /// reports as "the functional limit".
+    pub fn max_functional_qubits(&self, local_qubits: u32) -> u32 {
+        (1..=63u32)
+            .take_while(|&n| self.admits(n, local_qubits))
+            .last()
+            .unwrap_or(0)
+    }
+}
+
+impl Default for MemoryBudget {
+    /// Defaults to the engine ceiling — the session API behaves exactly
+    /// as before (any `n ≤ 30` runs), except that wider requests now
+    /// return a typed error instead of asserting.
+    fn default() -> Self {
+        MemoryBudget {
+            bytes: Self::ENGINE_CEILING,
+        }
+    }
+}
+
 /// Which algorithm groups a stage's gates into kernels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelAlgo {
@@ -145,6 +241,14 @@ pub struct AtlasConfig {
     pub trajectories: usize,
     /// Which simulation engine runs the circuit.
     pub backend: BackendKind,
+    /// Peak-memory admission budget for functional EXECUTE requests.
+    /// Checked *before* any amplitude allocation by the session API, the
+    /// serve pool's submission path and the CLI; an over-budget request
+    /// returns [`AtlasError::ResourceExhausted`] instead of aborting.
+    /// Defaults to the engine's own functional ceiling (48 GiB ≙ 30
+    /// qubits), which preserves the historical behavior for every
+    /// admissible width.
+    pub memory_budget: MemoryBudget,
     /// Telemetry handle threaded through planning, execution, sampling
     /// and the serve pool. Disabled by default — every recording call in
     /// the pipeline is then a single-branch no-op. Enabling it never
@@ -171,6 +275,7 @@ impl Default for AtlasConfig {
             noise: 0.0,
             trajectories: 1,
             backend: BackendKind::Auto,
+            memory_budget: MemoryBudget::default(),
             recorder: Recorder::default(),
         }
     }
@@ -256,6 +361,12 @@ impl AtlasConfig {
             return Err(AtlasError::invalid_config(
                 "GenericIlp staging with a zero node/time budget can never \
                  return a plan",
+            ));
+        }
+        if self.memory_budget.limit() == 0 {
+            return Err(AtlasError::invalid_config(
+                "memory_budget = 0 bytes: no functional request could ever \
+                 be admitted",
             ));
         }
         match self.kernelizer {
@@ -418,6 +529,13 @@ impl AtlasConfigBuilder {
         self
     }
 
+    /// Sets the peak-memory admission budget for functional EXECUTE
+    /// requests (checked before any amplitude allocation).
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.cfg.memory_budget = budget;
+        self
+    }
+
     /// Attaches a telemetry recorder (spans, counters, metrics). The
     /// default — a disabled handle — records nothing at zero cost.
     pub fn recorder(mut self, recorder: Recorder) -> Self {
@@ -486,10 +604,12 @@ mod tests {
             .threads(8)
             .shots(1024)
             .seed(7)
+            .memory_budget(MemoryBudget::bytes(1 << 20))
             .recorder(Recorder::enabled())
             .build()
             .unwrap();
         assert!(cfg.recorder.is_enabled());
+        assert_eq!(cfg.memory_budget, MemoryBudget::bytes(1 << 20));
         assert_eq!(cfg.inter_node_cost_factor, 5);
         assert_eq!(cfg.pruning_threshold, 100);
         assert_eq!(cfg.max_stages, 32);
@@ -557,6 +677,10 @@ mod tests {
                 AtlasConfig::builder().kernelizer(KernelAlgo::GreedyHybrid(0)),
                 "max_qubits",
             ),
+            (
+                AtlasConfig::builder().memory_budget(MemoryBudget::bytes(0)),
+                "memory_budget",
+            ),
         ];
         for (builder, needle) in cases {
             match builder.clone().build() {
@@ -620,6 +744,39 @@ mod tests {
             .pruning_threshold(0)
             .build()
             .is_ok());
+    }
+
+    /// The budget formula is the machine's actual allocation profile:
+    /// state + ping-pong spare (two full copies) + one scratch shard.
+    #[test]
+    fn memory_budget_peak_formula_and_admission() {
+        // n = 10, L = 5: 2·2^10·16 + 2^5·16 bytes.
+        assert_eq!(MemoryBudget::peak_bytes(10, 5), 2 * 16 * 1024 + 16 * 32);
+        // Scratch is one shard, never wider than the state itself.
+        assert_eq!(MemoryBudget::peak_bytes(10, 30), 3 * 16 * 1024);
+        // The single-host default admits exactly the historical 26-qubit
+        // functional limit, at any shard layout.
+        let single = MemoryBudget::bytes(MemoryBudget::SINGLE_HOST);
+        assert!(single.admits(26, 26));
+        assert!(single.admits(26, 5));
+        assert!(!single.admits(27, 5));
+        assert_eq!(single.max_functional_qubits(5), 26);
+        // The default budget is the engine ceiling: 30 qubits, typed
+        // rejection (not an assert) beyond it.
+        let default = MemoryBudget::default();
+        assert!(default.admits(30, 30));
+        match default.admit(31, 5) {
+            Err(AtlasError::ResourceExhausted { needed, budget }) => {
+                assert_eq!(needed, MemoryBudget::peak_bytes(31, 5));
+                assert_eq!(budget, MemoryBudget::ENGINE_CEILING);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        // Budgets above the ceiling are clamped: RAM cannot buy qubits
+        // the engine cannot index.
+        assert!(!MemoryBudget::bytes(u64::MAX).admits(31, 5));
+        // Saturating peak for very wide requests.
+        assert_eq!(MemoryBudget::peak_bytes(63, 63), u64::MAX);
     }
 
     #[test]

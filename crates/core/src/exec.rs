@@ -365,6 +365,28 @@ fn reduce_for_pattern(gate: &Gate, reads: &[ReadBit], shard_bits: u64, l: u32) -
 /// workers are parked). Amplitudes are bit-identical for every thread
 /// count.
 pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &AtlasConfig) {
+    let done = execute_with(machine, circuit, plan, cfg, &|| false);
+    debug_assert!(done, "a never-stop probe cannot interrupt EXECUTE");
+}
+
+/// EXECUTE with a cooperative interruption probe, polled at every stage
+/// barrier — the natural deterministic preemption point: a stage's
+/// kernels either all ran or none did, so abandoning between stages
+/// leaves no half-applied kernel group.
+///
+/// Returns `true` when the run completed and `false` when the probe
+/// stopped it; an interrupted machine holds a partial state and must be
+/// dropped, not measured. A probe that always answers `false` makes this
+/// byte-identical to [`execute`] — the poll reads nothing from the state
+/// and writes nothing to it, so the presence of a (never-firing) probe
+/// can never perturb results.
+pub fn execute_with(
+    machine: &mut Machine,
+    circuit: &Circuit,
+    plan: &FullPlan,
+    cfg: &AtlasConfig,
+    should_stop: &dyn Fn() -> bool,
+) -> bool {
     // Dry runs never touch amplitudes, so the pool would only idle.
     let threads = if machine.is_dry() {
         1
@@ -374,13 +396,20 @@ pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &
     if threads > 1 && machine.num_shards() >= threads {
         // Enough independent shards to keep every worker busy.
         atlas_statevec::with_pool(threads, |pool| {
-            execute_on(machine, Some(circuit), plan, cfg, pool)
-        });
+            execute_on(machine, Some(circuit), plan, cfg, pool, should_stop)
+        })
     } else {
         // Fewer shards than threads (or serial): no workers to park —
         // shards run inline and each kernel spends the budget on
         // intra-shard group parallelism instead.
-        execute_on(machine, Some(circuit), plan, cfg, &Pool::inline(threads));
+        execute_on(
+            machine,
+            Some(circuit),
+            plan,
+            cfg,
+            &Pool::inline(threads),
+            should_stop,
+        )
     }
 }
 
@@ -393,19 +422,21 @@ pub fn execute(machine: &mut Machine, circuit: &Circuit, plan: &FullPlan, cfg: &
 /// must have been created with `dry = true`.
 pub fn execute_dry(machine: &mut Machine, plan: &FullPlan, cfg: &AtlasConfig) {
     assert!(machine.is_dry(), "execute_dry needs a dry-mode machine");
-    execute_on(machine, None, plan, cfg, &Pool::inline(1));
+    execute_on(machine, None, plan, cfg, &Pool::inline(1), &|| false);
 }
 
 /// The body of [`execute`] / [`execute_dry`], parameterized on the
 /// worker pool. `circuit` is only read on the functional path (dry
-/// stages charge costs straight from the plan).
+/// stages charge costs straight from the plan). Returns `false` when
+/// `should_stop` interrupted the run at a stage barrier.
 fn execute_on(
     machine: &mut Machine,
     circuit: Option<&Circuit>,
     plan: &FullPlan,
     cfg: &AtlasConfig,
     pool: &Pool,
-) {
+    should_stop: &dyn Fn() -> bool,
+) -> bool {
     let n = plan.n;
     let l = plan.l;
     let num_shards = machine.num_shards();
@@ -413,6 +444,12 @@ fn execute_on(
     let mut prev_mapping: Option<&[u32]> = None;
 
     for sp in &plan.stages {
+        // Stage-barrier preemption point: between stages the state is a
+        // consistent (if partially evolved) vector, so an interrupted run
+        // simply stops before the next stage's relayout and kernels.
+        if should_stop() {
+            return false;
+        }
         // Stage transition: relayout + fold pending flips.
         if let Some(pm) = prev_mapping {
             let mut perm_map = vec![0u32; n as usize];
@@ -447,6 +484,7 @@ fn execute_on(
         // the final mapping.
         machine.permute_state(&QubitPermutation::identity(n as usize), carried_flips);
     }
+    true
 }
 
 /// Applies a bit permutation to a bitmask.

@@ -47,7 +47,7 @@ pub mod staging;
 
 pub use atlas_error::AtlasError;
 pub use backend::{BackendPlan, BackendRun, HybridPlan, SimulatorBackend, StabilizerPlan};
-pub use config::{AtlasConfig, AtlasConfigBuilder, BackendKind};
+pub use config::{AtlasConfig, AtlasConfigBuilder, BackendKind, MemoryBudget};
 pub use plan::{Kernel, KernelKind, QubitPartition, Stage, StagedKernels};
 pub use session::{CircuitFingerprint, CompiledPlan, Execution, Planner};
 pub use simulate::{simulate, SimulationOutput};

@@ -339,6 +339,23 @@ impl CompiledPlan {
     /// plan); otherwise [`AtlasError::PlanMismatch`] is returned before
     /// any state is allocated.
     pub fn execute(&self, circuit: &Circuit) -> Result<Execution, AtlasError> {
+        let run = self.execute_with(circuit, &|| false)?;
+        Ok(run.expect("a never-stop probe cannot interrupt EXECUTE"))
+    }
+
+    /// [`execute`](CompiledPlan::execute) with a cooperative
+    /// interruption probe, polled at every stage barrier of EXECUTE —
+    /// the serve pool's cancellation and deadline hook.
+    ///
+    /// Returns `Ok(None)` when the probe stopped the run (the partial
+    /// state is dropped; nothing is measured), `Ok(Some(_))` on
+    /// completion. A probe that never fires is unobservable: results are
+    /// byte-identical to [`execute`](CompiledPlan::execute).
+    pub fn execute_with(
+        &self,
+        circuit: &Circuit,
+        should_stop: &dyn Fn() -> bool,
+    ) -> Result<Option<Execution>, AtlasError> {
         let fp = CircuitFingerprint::of(circuit);
         if fp != self.fingerprint {
             return Err(AtlasError::PlanMismatch {
@@ -356,8 +373,13 @@ impl CompiledPlan {
                 ),
             });
         }
+        // Admission control: compute the run's peak bytes (state +
+        // ping-pong spare + scratch) *before* allocating anything.
+        self.cfg
+            .memory_budget
+            .admit(self.plan.n, self.spec.local_qubits)?;
         let machine = Machine::new(self.spec, self.cost.clone(), self.plan.n, false);
-        self.run_on(machine, circuit, false)
+        self.run_on(machine, circuit, false, should_stop)
     }
 
     /// EXECUTE starting from a caller-supplied state instead of
@@ -388,18 +410,24 @@ impl CompiledPlan {
                 self.plan.n
             )));
         }
+        self.cfg
+            .memory_budget
+            .admit(self.plan.n, self.spec.local_qubits)?;
         let machine = Machine::with_state(self.spec, self.cost.clone(), initial);
-        self.run_on(machine, circuit, true)
+        let run = self.run_on(machine, circuit, true, &|| false)?;
+        Ok(run.expect("a never-stop probe cannot interrupt EXECUTE"))
     }
 
     /// Shared EXECUTE body of [`execute`](CompiledPlan::execute) and
-    /// [`execute_from`](CompiledPlan::execute_from).
+    /// [`execute_from`](CompiledPlan::execute_from). `Ok(None)` means
+    /// `should_stop` interrupted the run at a stage barrier.
     fn run_on(
         &self,
         mut machine: Machine,
         circuit: &Circuit,
         permute_in: bool,
-    ) -> Result<Execution, AtlasError> {
+        should_stop: &dyn Fn() -> bool,
+    ) -> Result<Option<Execution>, AtlasError> {
         machine.set_recorder(self.cfg.recorder.clone());
         if permute_in {
             if let Some(sp0) = self.plan.stages.first() {
@@ -409,7 +437,11 @@ impl CompiledPlan {
                 }
             }
         }
-        exec::execute(&mut machine, circuit, &self.plan, &self.cfg);
+        if !exec::execute_with(&mut machine, circuit, &self.plan, &self.cfg, should_stop) {
+            // Interrupted at a stage barrier: the state is partial —
+            // drop it unmeasured.
+            return Ok(None);
+        }
         let state = self.cfg.final_unpermute.then(|| machine.gather_state());
         let report = machine.report();
         let mapping = self.plan.final_mapping(self.cfg.final_unpermute);
@@ -430,12 +462,12 @@ impl CompiledPlan {
             rec.flush();
             samples
         });
-        Ok(Execution {
+        Ok(Some(Execution {
             report,
             state,
             measurements,
             samples,
-        })
+        }))
     }
 
     /// Replays the clock model alone (no amplitudes, any qubit count) —

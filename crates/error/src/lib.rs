@@ -100,6 +100,39 @@ pub enum AtlasError {
         /// The pool's queue capacity.
         capacity: usize,
     },
+    /// A serve job panicked mid-flight. The panic was caught at the job
+    /// boundary — the worker thread and the rest of the pool keep
+    /// serving — and answered in-band as this typed error instead of
+    /// tearing the process down.
+    JobPanicked {
+        /// Pool-assigned id of the job that panicked.
+        job: u64,
+        /// A short rendering of the panic payload (the `&str`/`String`
+        /// message when the payload carries one).
+        payload_summary: String,
+    },
+    /// A request's peak memory demand (state + ping-pong spare +
+    /// scratch) exceeds the configured [`MemoryBudget`] — rejected
+    /// *before* any amplitude allocation instead of aborting on OOM.
+    /// Shrink the circuit, raise the budget, or use a dry run.
+    ///
+    /// [`MemoryBudget`]: https://docs.rs/atlas-core
+    ResourceExhausted {
+        /// Peak bytes the request would have to allocate.
+        needed: u64,
+        /// The enforced budget in bytes.
+        budget: u64,
+    },
+    /// The session pool could not spawn one of its worker threads during
+    /// construction. Workers already started were torn down cleanly.
+    WorkerSpawnFailed {
+        /// Workers successfully started before the failure.
+        started: usize,
+        /// Workers the pool configuration requested.
+        requested: usize,
+        /// The OS error message.
+        reason: String,
+    },
 }
 
 impl AtlasError {
@@ -130,6 +163,9 @@ impl AtlasError {
             AtlasError::ParseError { .. } => "parse-error",
             AtlasError::PlanMismatch { .. } => "plan-mismatch",
             AtlasError::Overloaded { .. } => "overloaded",
+            AtlasError::JobPanicked { .. } => "job-panicked",
+            AtlasError::ResourceExhausted { .. } => "resource-exhausted",
+            AtlasError::WorkerSpawnFailed { .. } => "worker-spawn-failed",
         }
     }
 }
@@ -171,6 +207,28 @@ impl fmt::Display for AtlasError {
                  {capacity}; retry after in-flight jobs drain or raise the \
                  queue capacity"
             ),
+            AtlasError::JobPanicked {
+                job,
+                payload_summary,
+            } => write!(
+                f,
+                "job {job} panicked ({payload_summary}); the pool kept serving"
+            ),
+            AtlasError::ResourceExhausted { needed, budget } => write!(
+                f,
+                "request needs a peak of {needed} bytes but the memory \
+                 budget is {budget}; shrink the circuit, raise the budget, \
+                 or use a dry run"
+            ),
+            AtlasError::WorkerSpawnFailed {
+                started,
+                requested,
+                reason,
+            } => write!(
+                f,
+                "could not spawn pool worker {started} of {requested}: \
+                 {reason}; already-started workers were torn down"
+            ),
         }
     }
 }
@@ -208,6 +266,21 @@ mod tests {
                 },
                 "cannot parse Pauli string (at position 2): invalid character 'Q'",
             ),
+            (
+                AtlasError::JobPanicked {
+                    job: 7,
+                    payload_summary: "index out of bounds".into(),
+                },
+                "job 7 panicked (index out of bounds); the pool kept serving",
+            ),
+            (
+                AtlasError::ResourceExhausted {
+                    needed: 1024,
+                    budget: 512,
+                },
+                "request needs a peak of 1024 bytes but the memory budget is \
+                 512; shrink the circuit, raise the budget, or use a dry run",
+            ),
         ];
         for (e, want) in cases {
             assert_eq!(e.to_string(), want);
@@ -241,6 +314,19 @@ mod tests {
             AtlasError::Overloaded {
                 queued: 0,
                 capacity: 0,
+            },
+            AtlasError::JobPanicked {
+                job: 0,
+                payload_summary: String::new(),
+            },
+            AtlasError::ResourceExhausted {
+                needed: 0,
+                budget: 0,
+            },
+            AtlasError::WorkerSpawnFailed {
+                started: 0,
+                requested: 0,
+                reason: String::new(),
             },
         ];
         let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();

@@ -52,10 +52,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod json;
 pub mod pool;
 pub mod protocol;
 
+pub use fault::{FaultPlan, FaultSite};
 pub use pool::{
     CancelToken, JobHandle, JobOutcome, JobOutput, JobRequest, PoolStats, ServeConfig, SessionPool,
 };

@@ -22,25 +22,49 @@
 //!   (a tenant's own jobs still run in submission order).
 //! * **Backpressure** — the queue is bounded. [`SessionPool::submit`]
 //!   fast-fails with [`AtlasError::Overloaded`] when full;
-//!   [`SessionPool::submit_blocking`] waits for space instead.
-//! * **Cancellation** — every job carries a [`CancelToken`]. Tokens are
-//!   honored at dequeue and again between plan lookup and EXECUTE; a
-//!   job already executing runs to completion (EXECUTE is not
-//!   interruptible mid-kernel by design — shards would be left torn).
+//!   [`SessionPool::submit_blocking`] waits for space instead, and
+//!   [`SessionPool::submit_timeout`] waits a bounded time before
+//!   failing typed.
+//! * **Admission** — a job whose peak memory demand (state + ping-pong
+//!   spare + scratch) exceeds [`AtlasConfig::memory_budget`] is
+//!   rejected at submission with [`AtlasError::ResourceExhausted`],
+//!   before it holds a queue slot and long before any amplitude
+//!   allocation could abort the process.
+//! * **Cancellation** — every job carries a [`CancelToken`], honored at
+//!   dequeue, after plan lookup, and at every stage barrier inside
+//!   EXECUTE (the deterministic preemption points — a kernel is never
+//!   torn mid-shard).
+//! * **Deadlines** — a job may carry a relative deadline
+//!   ([`SessionPool::submit_with_deadline`]); expiry is checked at the
+//!   same points as cancellation and answers
+//!   [`JobOutcome::DeadlineExceeded`].
+//! * **Panic isolation** — a job that panics (its own bug, or a panic
+//!   re-raised from the EXECUTE worker team) is caught at the job
+//!   boundary and answered in-band as [`AtlasError::JobPanicked`]; the
+//!   worker thread and the rest of the pool keep serving, and every
+//!   shared lock recovers from poison instead of unwrapping it.
+//! * **Fault injection** — a seeded [`FaultPlan`] deterministically
+//!   injects panics, forced cancellations, deadline pressure and
+//!   allocation failures at named sites (zero-cost when disabled); see
+//!   [`crate::fault`].
 //!
 //! Everything a job *returns* is deterministic: outputs carry model
 //! time (simulated seconds), counts and amplitudes — never wall-clock
 //! readings or cache-hit flags, so a response stream is byte-identical
 //! across runs, worker counts and cache states. Wall-clock and cache
-//! behavior are observable only in the aggregate [`PoolStats`].
+//! behavior are observable only in the aggregate [`PoolStats`]. The
+//! single wall-clock read in this crate is `wall_now`, used only to
+//! evaluate deadlines.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use atlas_circuit::Circuit;
-use atlas_core::config::AtlasConfig;
+use atlas_core::config::{AtlasConfig, MemoryBudget};
 use atlas_core::session::{CircuitFingerprint, CompiledPlan, Planner};
 use atlas_error::AtlasError;
 use atlas_ilp::SolveStatus;
@@ -49,7 +73,29 @@ use atlas_sampler::PauliString;
 use atlas_statevec::{scratch, StateVector};
 use atlas_telemetry::SpanStart;
 
-/// Pool shape: worker count, queue bound and plan-cache bound.
+use crate::fault::{FaultPlan, FaultSite};
+
+/// The one audited wall-clock read of the serve crate. Deadlines are
+/// *defined* against real elapsed time, so they cannot be modeled; all
+/// deterministic outputs stay clear of this function.
+fn wall_now() -> Instant {
+    // lint: allow(wall-clock) — deadlines are defined against real elapsed time; single audited read site.
+    Instant::now()
+}
+
+/// Locks a mutex, recovering from poison instead of propagating it.
+///
+/// Every critical section in this module leaves its data consistent at
+/// every panic point (counters are monotonic, the cache map is mutated
+/// insert-last), so the poison flag carries no information the pool
+/// needs — a panicked job must not wedge the shared locks for everyone
+/// else.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Pool shape: worker count, queue bound, plan-cache bound, and the
+/// (normally disabled) fault-injection schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Worker threads executing jobs. Each worker runs one job at a
@@ -62,6 +108,9 @@ pub struct ServeConfig {
     /// Maximum number of cached [`CompiledPlan`]s; the least recently
     /// used entry is evicted on overflow.
     pub cache_capacity: usize,
+    /// Deterministic fault-injection schedule (disabled by default);
+    /// see [`FaultPlan`].
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +119,7 @@ impl Default for ServeConfig {
             workers: 1,
             queue_capacity: 64,
             cache_capacity: 32,
+            fault_plan: FaultPlan::disabled(),
         }
     }
 }
@@ -156,19 +206,25 @@ pub enum JobOutput {
     },
 }
 
-/// Terminal state of a job: produced a result, or was cancelled first.
+/// Terminal state of a job: produced a result, was cancelled, or ran
+/// out its deadline.
 #[derive(Clone, Debug)]
 pub enum JobOutcome {
     /// The job ran and produced its output.
     Output(JobOutput),
-    /// The job's [`CancelToken`] fired before EXECUTE started.
+    /// The job's [`CancelToken`] fired before (or during) EXECUTE.
     Cancelled,
+    /// The job's deadline expired before (or during) EXECUTE. A job
+    /// submitted with a zero deadline is deterministically expired at
+    /// dispatch.
+    DeadlineExceeded,
 }
 
 /// Cooperative cancellation flag, cloneable and thread-safe.
 ///
-/// Honored at the two points where abandoning the job is sound: when
-/// the job is dequeued and again after plan lookup, before EXECUTE.
+/// Honored at every point where abandoning the job is sound: when the
+/// job is dequeued, again after plan lookup, and at every stage barrier
+/// inside EXECUTE (shards are never left torn mid-kernel).
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
 
@@ -228,11 +284,21 @@ pub struct PoolStats {
     pub jobs_submitted: u64,
     /// Jobs that ran to a successful output.
     pub jobs_completed: u64,
-    /// Jobs that terminated with a typed error.
+    /// Jobs that terminated with a typed error (panicked jobs are
+    /// counted under [`jobs_panicked`](PoolStats::jobs_panicked)
+    /// instead).
     pub jobs_failed: u64,
-    /// Jobs cancelled before EXECUTE.
+    /// Jobs cancelled before or during EXECUTE.
     pub jobs_cancelled: u64,
-    /// Submissions rejected with [`AtlasError::Overloaded`].
+    /// Jobs whose deadline expired before or during EXECUTE.
+    pub jobs_deadline_exceeded: u64,
+    /// Jobs that panicked and were answered
+    /// [`AtlasError::JobPanicked`] (the pool survived each one).
+    pub jobs_panicked: u64,
+    /// Submissions rejected at admission: a full queue
+    /// ([`AtlasError::Overloaded`]) or a request over the memory budget
+    /// ([`AtlasError::ResourceExhausted`]). Rejected jobs never consume
+    /// a job id.
     pub jobs_rejected: u64,
     /// Plan-cache hits (PARTITION skipped).
     pub cache_hits: u64,
@@ -279,6 +345,9 @@ struct QueuedJob {
     circuit: Circuit,
     request: JobRequest,
     cancel: CancelToken,
+    /// Absolute expiry instant, armed at submission (`None` = no
+    /// deadline).
+    deadline: Option<Instant>,
     tx: mpsc::Sender<Result<JobOutcome, AtlasError>>,
     /// Telemetry anchor taken at submission — the `serve.queue_wait`
     /// span runs from here to dispatch (wall-clock only, never in the
@@ -326,6 +395,11 @@ impl SchedState {
 /// The LRU plan cache. Misses plan under this lock — that is the
 /// plan-exactly-once guarantee, and it intentionally serializes
 /// PARTITION (EXECUTE never holds it).
+///
+/// Poison-safety: the map is only mutated by a final insert after all
+/// fallible work, and the counters are monotonic, so a panic under this
+/// lock (e.g. an injected [`FaultSite::PlanPanic`]) leaves the cache
+/// consistent — [`lock_clean`] then clears the poison flag.
 struct PlanCache {
     map: HashMap<CircuitFingerprint, (u64, Arc<CompiledPlan>)>,
     tick: u64,
@@ -340,6 +414,16 @@ struct PlanCache {
     analyze_rejected: u64,
 }
 
+/// How long a submission is willing to wait for queue space.
+enum Wait {
+    /// Reject immediately when the queue is full.
+    FastFail,
+    /// Wait for space indefinitely.
+    Block,
+    /// Wait at most this long, then reject typed.
+    Timeout(Duration),
+}
+
 /// State shared between the pool handle and its workers.
 struct Shared {
     planner: Planner,
@@ -347,6 +431,9 @@ struct Shared {
     /// Configured worker-team size (stable across shutdown, unlike the
     /// join-handle vector `stats` used to read).
     worker_count: usize,
+    /// The fault-injection schedule ([`FaultPlan::disabled`] outside
+    /// chaos tests).
+    fault: FaultPlan,
     sched: Mutex<SchedState>,
     /// Wakes workers when work arrives (or on pause/shutdown edges).
     job_ready: Condvar,
@@ -360,6 +447,8 @@ struct Shared {
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_cancelled: AtomicU64,
+    jobs_deadline_exceeded: AtomicU64,
+    jobs_panicked: AtomicU64,
     jobs_rejected: AtomicU64,
     /// Per-worker `(scratch hits, misses, evictions)` snapshots: each
     /// worker owns one slot and republishes its thread-local scratch
@@ -368,7 +457,7 @@ struct Shared {
 }
 
 /// A running multi-tenant session pool. See the module docs for the
-/// scheduling, caching and backpressure contract.
+/// scheduling, caching, backpressure and failure contract.
 pub struct SessionPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
@@ -380,6 +469,10 @@ impl SessionPool {
     ///
     /// `cfg` is validated up front (same rules as [`Planner::plan`]);
     /// `serve.workers/queue_capacity/cache_capacity` must all be ≥ 1.
+    /// If the OS refuses a worker thread mid-construction, the workers
+    /// already started are torn down and
+    /// [`AtlasError::WorkerSpawnFailed`] is returned — the constructor
+    /// never panics on spawn failure.
     pub fn new(
         spec: MachineSpec,
         cost: CostModel,
@@ -392,6 +485,7 @@ impl SessionPool {
             planner: Planner::new(spec, cost, cfg),
             queue_capacity: serve.queue_capacity,
             worker_count: serve.workers,
+            fault: serve.fault_plan.clone(),
             sched: Mutex::new(SchedState::default()),
             job_ready: Condvar::new(),
             space_ready: Condvar::new(),
@@ -411,20 +505,34 @@ impl SessionPool {
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_cancelled: AtomicU64::new(0),
+            jobs_deadline_exceeded: AtomicU64::new(0),
+            jobs_panicked: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             scratch_totals: (0..serve.workers)
                 .map(|_| [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)])
                 .collect(),
         });
-        let workers = (0..serve.workers)
-            .map(|slot| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("atlas-serve-{slot}"))
-                    .spawn(move || worker_loop(&shared, slot))
-                    .expect("spawn pool worker")
-            })
-            .collect();
+        let mut workers = Vec::with_capacity(serve.workers);
+        for slot in 0..serve.workers {
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("atlas-serve-{slot}"))
+                .spawn(move || worker_loop(&worker_shared, slot))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    let started = workers.len();
+                    // The partial pool's Drop path shuts the started
+                    // workers down cleanly (they have no queued work).
+                    drop(SessionPool { shared, workers });
+                    return Err(AtlasError::WorkerSpawnFailed {
+                        started,
+                        requested: serve.workers,
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
         Ok(SessionPool { shared, workers })
     }
 
@@ -441,7 +549,7 @@ impl SessionPool {
         circuit: Circuit,
         request: JobRequest,
     ) -> Result<JobHandle, AtlasError> {
-        self.submit_inner(tenant, circuit, request, false)
+        self.submit_inner(tenant, circuit, request, Wait::FastFail, None)
     }
 
     /// Submits a job for `tenant`, blocking until queue space is
@@ -452,7 +560,46 @@ impl SessionPool {
         circuit: Circuit,
         request: JobRequest,
     ) -> Result<JobHandle, AtlasError> {
-        self.submit_inner(tenant, circuit, request, true)
+        self.submit_inner(tenant, circuit, request, Wait::Block, None)
+    }
+
+    /// Submits a job for `tenant`, waiting at most `wait` for queue
+    /// space before rejecting with [`AtlasError::Overloaded`] — bounded
+    /// backpressure, so a stalled pool cannot hold a client hostage the
+    /// way [`submit_blocking`](SessionPool::submit_blocking) would.
+    pub fn submit_timeout(
+        &self,
+        tenant: &str,
+        circuit: Circuit,
+        request: JobRequest,
+        wait: Duration,
+    ) -> Result<JobHandle, AtlasError> {
+        self.submit_inner(tenant, circuit, request, Wait::Timeout(wait), None)
+    }
+
+    /// Submits a job with a relative `deadline`, measured from now.
+    ///
+    /// The queue-space wait is bounded by the same deadline (expiry
+    /// while still waiting for a slot reads as
+    /// [`AtlasError::Overloaded`]); once queued, a job whose deadline
+    /// expires before EXECUTE or at a stage barrier inside it is
+    /// answered [`JobOutcome::DeadlineExceeded`]. A zero deadline is
+    /// deterministically expired at dispatch — useful for tests and for
+    /// load shedding.
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        circuit: Circuit,
+        request: JobRequest,
+        deadline: Duration,
+    ) -> Result<JobHandle, AtlasError> {
+        self.submit_inner(
+            tenant,
+            circuit,
+            request,
+            Wait::Timeout(deadline),
+            Some(deadline),
+        )
     }
 
     fn submit_inner(
@@ -460,19 +607,71 @@ impl SessionPool {
         tenant: &str,
         circuit: Circuit,
         request: JobRequest,
-        block: bool,
+        wait: Wait,
+        deadline: Option<Duration>,
     ) -> Result<JobHandle, AtlasError> {
         let shared = &self.shared;
-        let mut sched = shared.sched.lock().unwrap();
+        // Resource admission: reject a request whose peak bytes exceed
+        // the budget before it holds a queue slot — and long before
+        // EXECUTE would attempt the allocation. Rejected jobs never
+        // consume a job id, so accepted ids stay dense in submission
+        // order regardless of rejections.
+        if let Err(e) = shared
+            .planner
+            .config()
+            .memory_budget
+            .admit(circuit.num_qubits(), shared.planner.spec().local_qubits)
+        {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let wait_until = match wait {
+            Wait::Timeout(d) => wall_now().checked_add(d),
+            _ => None,
+        };
+        let deadline_at = deadline.and_then(|d| wall_now().checked_add(d));
+        let mut sched = lock_clean(&shared.sched);
         while sched.queued >= shared.queue_capacity {
-            if !block {
-                shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(AtlasError::Overloaded {
-                    queued: sched.queued,
-                    capacity: shared.queue_capacity,
-                });
+            match wait {
+                Wait::FastFail => {
+                    shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(AtlasError::Overloaded {
+                        queued: sched.queued,
+                        capacity: shared.queue_capacity,
+                    });
+                }
+                Wait::Block => {
+                    sched = shared
+                        .space_ready
+                        .wait(sched)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Wait::Timeout(_) => match wait_until {
+                    // An overflowed expiry instant is effectively
+                    // unbounded: fall back to blocking.
+                    None => {
+                        sched = shared
+                            .space_ready
+                            .wait(sched)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(until) => {
+                        let remaining = until.saturating_duration_since(wall_now());
+                        if remaining.is_zero() {
+                            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+                            return Err(AtlasError::Overloaded {
+                                queued: sched.queued,
+                                capacity: shared.queue_capacity,
+                            });
+                        }
+                        let (guard, _timed_out) = shared
+                            .space_ready
+                            .wait_timeout(sched, remaining)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        sched = guard;
+                    }
+                },
             }
-            sched = shared.space_ready.wait(sched).unwrap();
         }
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel = CancelToken::new();
@@ -482,6 +681,7 @@ impl SessionPool {
             circuit,
             request,
             cancel: cancel.clone(),
+            deadline: deadline_at,
             tx,
             submitted: shared.planner.config().recorder.start(),
         };
@@ -503,27 +703,31 @@ impl SessionPool {
     /// Stops dispatching (queued jobs stay queued; in-flight jobs
     /// finish). For tests that need to line up a queue deterministically.
     pub fn pause(&self) {
-        self.shared.sched.lock().unwrap().paused = true;
+        lock_clean(&self.shared.sched).paused = true;
     }
 
     /// Resumes dispatching after [`SessionPool::pause`].
     pub fn resume(&self) {
-        self.shared.sched.lock().unwrap().paused = false;
+        lock_clean(&self.shared.sched).paused = false;
         self.shared.job_ready.notify_all();
     }
 
     /// Blocks until no job is queued or in flight.
     pub fn wait_idle(&self) {
-        let mut sched = self.shared.sched.lock().unwrap();
+        let mut sched = lock_clean(&self.shared.sched);
         while sched.queued > 0 || sched.in_flight > 0 {
-            sched = self.shared.idle.wait(sched).unwrap();
+            sched = self
+                .shared
+                .idle
+                .wait(sched)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// The job ids in dispatch order — the observable fairness record
     /// (tests assert round-robin interleaving on it).
     pub fn dequeue_log(&self) -> Vec<u64> {
-        self.shared.sched.lock().unwrap().dequeue_log.clone()
+        lock_clean(&self.shared.sched).dequeue_log.clone()
     }
 
     /// A snapshot of the aggregate counters.
@@ -537,7 +741,7 @@ impl SessionPool {
             analyze_checked,
             analyze_rejected,
         ) = {
-            let c = shared.cache.lock().unwrap();
+            let c = lock_clean(&shared.cache);
             (
                 c.hits,
                 c.misses,
@@ -547,7 +751,7 @@ impl SessionPool {
                 c.analyze_rejected,
             )
         };
-        let max_queued = shared.sched.lock().unwrap().max_queued;
+        let max_queued = lock_clean(&shared.sched).max_queued;
         let mut scratch = [0u64; 3];
         for slot in &shared.scratch_totals {
             for (acc, cell) in scratch.iter_mut().zip(slot) {
@@ -559,6 +763,8 @@ impl SessionPool {
             jobs_completed: shared.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
             jobs_cancelled: shared.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_deadline_exceeded: shared.jobs_deadline_exceeded.load(Ordering::Relaxed),
+            jobs_panicked: shared.jobs_panicked.load(Ordering::Relaxed),
             jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
@@ -580,6 +786,8 @@ impl SessionPool {
             rec.metric_set("serve.jobs_completed", stats.jobs_completed);
             rec.metric_set("serve.jobs_failed", stats.jobs_failed);
             rec.metric_set("serve.jobs_cancelled", stats.jobs_cancelled);
+            rec.metric_set("serve.jobs_deadline_exceeded", stats.jobs_deadline_exceeded);
+            rec.metric_set("serve.jobs_panicked", stats.jobs_panicked);
             rec.metric_set("serve.jobs_rejected", stats.jobs_rejected);
             rec.metric_set("serve.plan_cache.entries", stats.cache_entries as u64);
             rec.metric_set("serve.queue.max_depth", stats.max_queued as u64);
@@ -602,7 +810,7 @@ impl SessionPool {
     }
 
     fn begin_shutdown(&self) {
-        let mut sched = self.shared.sched.lock().unwrap();
+        let mut sched = lock_clean(&self.shared.sched);
         sched.shutdown = true;
         // Shutdown overrides pause: a paused, dropped pool must not
         // hang its workers.
@@ -623,10 +831,14 @@ impl Drop for SessionPool {
 
 /// Looks up (or computes) the plan for `circuit`. Planning happens
 /// under the cache lock — see [`PlanCache`].
-fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, AtlasError> {
+fn plan_for(
+    shared: &Shared,
+    circuit: &Circuit,
+    job_id: u64,
+) -> Result<Arc<CompiledPlan>, AtlasError> {
     let rec = &shared.planner.config().recorder;
     let fp = CircuitFingerprint::of(circuit);
-    let mut cache = shared.cache.lock().unwrap();
+    let mut cache = lock_clean(&shared.cache);
     cache.tick += 1;
     let tick = cache.tick;
     if let Some(entry) = cache.map.get_mut(&fp) {
@@ -638,6 +850,12 @@ fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, Atl
     }
     cache.misses += 1;
     rec.metric_add("serve.plan_cache.misses", 1);
+    if shared.fault.should_inject(FaultSite::PlanPanic, job_id) {
+        // Deliberately under the cache lock, after the miss accounting:
+        // this is the genuine poison-the-lock case the recovery tests
+        // need (the cache state at this point is already consistent).
+        panic!("injected fault: panic under the plan-cache lock at job {job_id}");
+    }
     let plan = Arc::new(shared.planner.plan(circuit)?);
     // Cache admission gate: verify the freshly compiled plan before it
     // becomes shared state. A plan that fails static analysis is never
@@ -664,38 +882,52 @@ fn plan_for(shared: &Shared, circuit: &Circuit) -> Result<Arc<CompiledPlan>, Atl
     Ok(plan)
 }
 
-/// Runs one job to its output (cancellation already handled).
+/// Runs one job to its output, polling cancellation and the deadline at
+/// every stage barrier inside EXECUTE.
 fn run_job(
     plan: &CompiledPlan,
     circuit: &Circuit,
     request: &JobRequest,
-) -> Result<JobOutput, AtlasError> {
+    cancel: &CancelToken,
+    deadline: Option<Instant>,
+) -> Result<JobOutcome, AtlasError> {
+    // The stage-barrier probe: EXECUTE abandons the run at the next
+    // barrier once this returns true. A probe that never fires leaves
+    // results byte-identical to an unprobed run.
+    let probe = || cancel.is_cancelled() || deadline.is_some_and(|d| wall_now() >= d);
+    let interrupted = || {
+        if cancel.is_cancelled() {
+            JobOutcome::Cancelled
+        } else {
+            JobOutcome::DeadlineExceeded
+        }
+    };
     match request {
         JobRequest::Plan => {
             let p = plan.plan();
-            Ok(JobOutput::Planned {
+            Ok(JobOutcome::Output(JobOutput::Planned {
                 stages: p.stages.len(),
                 staging_cost: p.staging_cost,
                 optimal: p.staging_optimal,
                 solve_status: p.solve_status,
-            })
+            }))
         }
-        JobRequest::Execute => {
-            let run = plan.execute(circuit)?;
-            Ok(JobOutput::Executed {
+        JobRequest::Execute => match plan.execute_with(circuit, &probe)? {
+            None => Ok(interrupted()),
+            Some(run) => Ok(JobOutcome::Output(JobOutput::Executed {
                 model_secs: run.report.total_secs,
                 kernels: run.report.kernels,
                 norm: run.measurements.total_norm(),
                 top: run.measurements.top(4),
                 state: run.state,
-            })
-        }
-        JobRequest::Sample { shots, seed } => {
-            let run = plan.execute(circuit)?;
-            Ok(JobOutput::Sampled {
+            })),
+        },
+        JobRequest::Sample { shots, seed } => match plan.execute_with(circuit, &probe)? {
+            None => Ok(interrupted()),
+            Some(run) => Ok(JobOutcome::Output(JobOutput::Sampled {
                 counts: run.measurements.sample_counts(*shots, *seed),
-            })
-        }
+            })),
+        },
         JobRequest::Expect { pauli } => {
             if pauli.num_qubits() != circuit.num_qubits() {
                 return Err(AtlasError::InvalidConfig {
@@ -706,12 +938,83 @@ fn run_job(
                     ),
                 });
             }
-            let run = plan.execute(circuit)?;
-            Ok(JobOutput::Expectation {
-                value: run.measurements.expectation(pauli),
-            })
+            match plan.execute_with(circuit, &probe)? {
+                None => Ok(interrupted()),
+                Some(run) => Ok(JobOutcome::Output(JobOutput::Expectation {
+                    value: run.measurements.expectation(pauli),
+                })),
+            }
         }
     }
+}
+
+/// Renders a panic payload as a short summary for
+/// [`AtlasError::JobPanicked`] (the `&str`/`String` message when the
+/// payload carries one).
+fn panic_summary(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Takes one dispatched job to its terminal result, isolating panics at
+/// this boundary: a panic anywhere inside (the job's own logic, EXECUTE
+/// worker panics re-raised by the statevec pool, or an injected
+/// [`FaultSite::WorkerPanic`]/[`FaultSite::PlanPanic`]) becomes a typed
+/// [`AtlasError::JobPanicked`] and the worker thread survives.
+fn process_job(shared: &Shared, job: &QueuedJob) -> Result<JobOutcome, AtlasError> {
+    match catch_unwind(AssertUnwindSafe(|| process_job_inner(shared, job))) {
+        Ok(result) => result,
+        Err(payload) => Err(AtlasError::JobPanicked {
+            job: job.id,
+            payload_summary: panic_summary(payload.as_ref()),
+        }),
+    }
+}
+
+fn process_job_inner(shared: &Shared, job: &QueuedJob) -> Result<JobOutcome, AtlasError> {
+    let fault = &shared.fault;
+    // Injected faults fire in a fixed priority order, so a job selected
+    // by several sites still has exactly one deterministic outcome.
+    if fault.should_inject(FaultSite::WorkerPanic, job.id) {
+        panic!("injected fault: worker panic at job {}", job.id);
+    }
+    if fault.should_inject(FaultSite::ForceCancel, job.id) {
+        job.cancel.cancel();
+    }
+    let forced_deadline = fault.should_inject(FaultSite::DeadlinePressure, job.id);
+    let expired = || forced_deadline || job.deadline.is_some_and(|d| wall_now() >= d);
+    if job.cancel.is_cancelled() {
+        return Ok(JobOutcome::Cancelled);
+    }
+    if expired() {
+        return Ok(JobOutcome::DeadlineExceeded);
+    }
+    let plan = plan_for(shared, &job.circuit, job.id)?;
+    // Re-check after the (possibly long) planning phase; EXECUTE itself
+    // re-checks at every stage barrier via the probe in `run_job`.
+    if job.cancel.is_cancelled() {
+        return Ok(JobOutcome::Cancelled);
+    }
+    if expired() {
+        return Ok(JobOutcome::DeadlineExceeded);
+    }
+    if fault.should_inject(FaultSite::AllocFail, job.id) {
+        // Model an admission-layer miss: the allocation this job would
+        // have made is refused as if the budget were zero.
+        return Err(AtlasError::ResourceExhausted {
+            needed: MemoryBudget::peak_bytes(
+                job.circuit.num_qubits(),
+                shared.planner.spec().local_qubits,
+            ),
+            budget: 0,
+        });
+    }
+    run_job(&plan, &job.circuit, &job.request, &job.cancel, job.deadline)
 }
 
 /// Numeric request tag carried by `serve.job` span args.
@@ -729,7 +1032,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
     loop {
         // Take the next job (or exit once shut down and drained).
         let job = {
-            let mut sched = shared.sched.lock().unwrap();
+            let mut sched = lock_clean(&shared.sched);
             loop {
                 if sched.shutdown && sched.queued == 0 {
                     return;
@@ -739,7 +1042,10 @@ fn worker_loop(shared: &Shared, slot: usize) {
                         break job;
                     }
                 }
-                sched = shared.job_ready.wait(sched).unwrap();
+                sched = shared
+                    .job_ready
+                    .wait(sched)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         shared.space_ready.notify_one();
@@ -756,20 +1062,12 @@ fn worker_loop(shared: &Shared, slot: usize) {
             &[],
         );
         let job_t = rec.start();
-        let result = if job.cancel.is_cancelled() {
-            Ok(JobOutcome::Cancelled)
-        } else {
-            match plan_for(shared, &job.circuit) {
-                Err(e) => Err(e),
-                // Re-check after the (possibly long) planning phase —
-                // the last point where abandoning the job is sound.
-                Ok(_) if job.cancel.is_cancelled() => Ok(JobOutcome::Cancelled),
-                Ok(plan) => run_job(&plan, &job.circuit, &job.request).map(JobOutcome::Output),
-            }
-        };
+        let result = process_job(shared, &job);
         let outcome = match &result {
             Ok(JobOutcome::Output(_)) => 0u64,
             Ok(JobOutcome::Cancelled) => 1,
+            Ok(JobOutcome::DeadlineExceeded) => 3,
+            Err(AtlasError::JobPanicked { .. }) => 4,
             Err(_) => 2,
         };
         // `ord` is the pool-assigned job id (submission order), so the
@@ -787,6 +1085,8 @@ fn worker_loop(shared: &Shared, slot: usize) {
         match &result {
             Ok(JobOutcome::Output(_)) => &shared.jobs_completed,
             Ok(JobOutcome::Cancelled) => &shared.jobs_cancelled,
+            Ok(JobOutcome::DeadlineExceeded) => &shared.jobs_deadline_exceeded,
+            Err(AtlasError::JobPanicked { .. }) => &shared.jobs_panicked,
             Err(_) => &shared.jobs_failed,
         }
         .fetch_add(1, Ordering::Relaxed);
@@ -800,7 +1100,7 @@ fn worker_loop(shared: &Shared, slot: usize) {
         // The submitter may have dropped its handle; that's fine.
         let _ = job.tx.send(result);
 
-        let mut sched = shared.sched.lock().unwrap();
+        let mut sched = lock_clean(&shared.sched);
         sched.in_flight -= 1;
         if sched.queued == 0 && sched.in_flight == 0 {
             shared.idle.notify_all();

@@ -23,6 +23,10 @@
 //!   defaults to 0).
 //! * `pauli` — for `op":"expect"` (required; I/X/Y/Z per qubit,
 //!   leftmost = highest qubit).
+//! * `deadline_ms` (non-negative integer, optional) — relative job
+//!   deadline in milliseconds. Expiry before EXECUTE (or at a stage
+//!   barrier inside it) answers `"deadline_exceeded":true`; `0` is
+//!   deterministically expired at dispatch.
 //!
 //! ## Stats lines (stdin)
 //!
@@ -33,8 +37,8 @@
 //! A `stats` line is a synchronization point, not a job: the server
 //! waits for every previously submitted job to finish, then answers
 //! with the pool's *deterministic* counters (jobs submitted / completed
-//! / failed / cancelled / rejected, plan-cache hits / misses /
-//! evictions / entries). Because stdin is processed serially, the
+//! / failed / cancelled / rejected / deadline-exceeded / panicked,
+//! plan-cache hits / misses / evictions / entries). Because stdin is processed serially, the
 //! counts cover exactly the jobs on the preceding lines — the response
 //! is byte-identical across runs and worker counts. Wall-clock-shaped
 //! values (queue high-water marks, scratch memo totals) are
@@ -68,6 +72,8 @@ pub struct JobSpec {
     pub circuit: Circuit,
     /// What to do with it.
     pub request: JobRequest,
+    /// Relative deadline in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
 }
 
 /// One parsed stdin line: a job to schedule, or a synchronous `stats`
@@ -162,11 +168,19 @@ pub fn parse_job(line: &str) -> Result<JobSpec, String> {
         }
         other => return Err(format!("unknown op '{other}'")),
     };
+    let deadline_ms = match v.get("deadline_ms") {
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or("'deadline_ms' must be a non-negative integer")?,
+        ),
+        None => None,
+    };
     Ok(JobSpec {
         id,
         tenant,
         circuit,
         request,
+        deadline_ms,
     })
 }
 
@@ -192,6 +206,9 @@ pub fn render_response(id: &str, result: &Result<JobOutcome, AtlasError>) -> Str
         ),
         Ok(JobOutcome::Cancelled) => {
             format!(r#"{{"id":"{id}","ok":false,"cancelled":true}}"#)
+        }
+        Ok(JobOutcome::DeadlineExceeded) => {
+            format!(r#"{{"id":"{id}","ok":false,"deadline_exceeded":true}}"#)
         }
         Ok(JobOutcome::Output(out)) => match out {
             JobOutput::Planned {
@@ -248,7 +265,8 @@ pub fn render_stats(id: &str, stats: &crate::pool::PoolStats) -> String {
         concat!(
             r#"{{"id":"{id}","ok":true,"op":"stats","#,
             r#""jobs":{{"submitted":{sub},"completed":{comp},"failed":{fail},"#,
-            r#""cancelled":{canc},"rejected":{rej}}},"#,
+            r#""cancelled":{canc},"rejected":{rej},"#,
+            r#""deadline_exceeded":{dead},"panicked":{pan}}},"#,
             r#""plan_cache":{{"hits":{hits},"misses":{miss},"evictions":{evic},"entries":{ent}}},"#,
             r#""analyze":{{"plans_checked":{achk},"plans_rejected":{arej}}}}}"#,
         ),
@@ -258,6 +276,8 @@ pub fn render_stats(id: &str, stats: &crate::pool::PoolStats) -> String {
         fail = stats.jobs_failed,
         canc = stats.jobs_cancelled,
         rej = stats.jobs_rejected,
+        dead = stats.jobs_deadline_exceeded,
+        pan = stats.jobs_panicked,
         hits = stats.cache_hits,
         miss = stats.cache_misses,
         evic = stats.cache_evictions,
@@ -281,6 +301,7 @@ mod tests {
         assert_eq!(spec.tenant, "t0");
         assert_eq!(spec.circuit.num_qubits(), 8);
         assert!(matches!(spec.request, JobRequest::Execute));
+        assert_eq!(spec.deadline_ms, None);
         // The shift changes parameters but not structure.
         let base = parse_job(r#"{"id":"b","tenant":"t0","op":"execute","family":"qaoa","n":8}"#)
             .unwrap()
@@ -321,6 +342,20 @@ mod tests {
     }
 
     #[test]
+    fn parses_optional_deadline() {
+        let spec = parse_job(
+            r#"{"id":"d","tenant":"t","op":"execute","family":"ghz","n":6,"deadline_ms":250}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.deadline_ms, Some(250));
+        let zero = parse_job(
+            r#"{"id":"d0","tenant":"t","op":"execute","family":"ghz","n":6,"deadline_ms":0}"#,
+        )
+        .unwrap();
+        assert_eq!(zero.deadline_ms, Some(0));
+    }
+
+    #[test]
     fn rejects_malformed_jobs() {
         for (line, needle) in [
             ("{}", "'id'"),
@@ -348,6 +383,10 @@ mod tests {
             (
                 r#"{"id":"x","tenant":"t","op":"plan","family":"ghz","n":3.5}"#,
                 "'n'",
+            ),
+            (
+                r#"{"id":"x","tenant":"t","op":"plan","family":"ghz","deadline_ms":-5}"#,
+                "'deadline_ms'",
             ),
         ] {
             let err = parse_job(line).unwrap_err();
@@ -380,6 +419,8 @@ mod tests {
             jobs_submitted: 5,
             jobs_completed: 4,
             jobs_failed: 1,
+            jobs_deadline_exceeded: 2,
+            jobs_panicked: 1,
             cache_hits: 3,
             cache_misses: 2,
             cache_entries: 2,
@@ -399,6 +440,9 @@ mod tests {
             v.get("jobs").unwrap().get("submitted").unwrap().as_u64(),
             Some(5)
         );
+        let jobs = v.get("jobs").unwrap();
+        assert_eq!(jobs.get("deadline_exceeded").unwrap().as_u64(), Some(2));
+        assert_eq!(jobs.get("panicked").unwrap().as_u64(), Some(1));
         assert_eq!(
             v.get("plan_cache").unwrap().get("hits").unwrap().as_u64(),
             Some(3)
@@ -425,9 +469,18 @@ mod tests {
             })),
             Ok(JobOutcome::Output(JobOutput::Expectation { value: -0.5 })),
             Ok(JobOutcome::Cancelled),
+            Ok(JobOutcome::DeadlineExceeded),
             Err(AtlasError::Overloaded {
                 queued: 4,
                 capacity: 4,
+            }),
+            Err(AtlasError::JobPanicked {
+                job: 3,
+                payload_summary: "index out of bounds".into(),
+            }),
+            Err(AtlasError::ResourceExhausted {
+                needed: 1 << 40,
+                budget: 1 << 30,
             }),
         ];
         for result in &cases {
@@ -436,7 +489,16 @@ mod tests {
             let v = json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
             assert_eq!(v.get("id").unwrap().as_str(), Some("job \"7\""));
         }
-        let over = render_response("x", &cases[4]);
+        let over = render_response("x", &cases[5]);
         assert!(over.contains(r#""kind":"overloaded""#), "{over}");
+        let dead = render_response("x", &cases[4]);
+        assert!(dead.contains(r#""deadline_exceeded":true"#), "{dead}");
+        let panicked = render_response("x", &cases[6]);
+        assert!(panicked.contains(r#""kind":"job-panicked""#), "{panicked}");
+        let exhausted = render_response("x", &cases[7]);
+        assert!(
+            exhausted.contains(r#""kind":"resource-exhausted""#),
+            "{exhausted}"
+        );
     }
 }

@@ -43,6 +43,7 @@ fn main() {
                 workers: 2,
                 queue_capacity: 4,
                 cache_capacity: 8,
+                ..ServeConfig::default()
             },
         )
         .expect("pool"),
@@ -88,7 +89,7 @@ fn main() {
                         handle.cancel();
                     }
                     match handle.wait().expect("typed job failure") {
-                        JobOutcome::Cancelled => {
+                        JobOutcome::Cancelled | JobOutcome::DeadlineExceeded => {
                             cancelled.fetch_add(1, Ordering::Relaxed);
                         }
                         JobOutcome::Output(out) => {

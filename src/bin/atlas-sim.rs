@@ -25,7 +25,8 @@
 //! failure family: `0` success, `1` generic runtime failure, `2` usage
 //! error / invalid configuration, `3` circuit too small for the machine,
 //! `4` staging failed, `5` ILP budget exceeded, `6` invalid plan / plan
-//! mismatch, `7` parse error, `8` session pool overloaded.
+//! mismatch, `7` parse error, `8` session pool overloaded, `9` job
+//! panicked, `10` resource budget exceeded.
 
 use atlas::baselines;
 use atlas::circuit::qasm;
@@ -69,6 +70,13 @@ struct Args {
     queue: usize,
     /// `--cache` (serve): plan-cache capacity.
     cache: usize,
+    /// `--fault-seed` (serve): arm the deterministic fault-injection
+    /// harness with this RNG seed.
+    fault_seed: Option<u64>,
+    /// `--fault-rate` (serve): per-site firing rate in ppm.
+    fault_rate: u32,
+    /// `--fault-rate` appeared explicitly (conflict checks).
+    fault_rate_set: bool,
     /// `--threads` appeared explicitly (serve defaults to 1 thread per
     /// job and parallelizes across workers instead).
     threads_set: bool,
@@ -184,6 +192,13 @@ SERVE (multi-tenant session pool; NDJSON stdin -> stdout):
     --workers <k>       pool worker threads (default: all cores)
     --queue <k>         bounded job-queue capacity (default 64)
     --cache <k>         compiled-plan LRU cache capacity (default 32)
+    --fault-seed <s>    arm the deterministic fault-injection harness
+                        with RNG seed s: worker panics, forced cancels,
+                        deadline pressure and allocation failures are
+                        injected as a pure function of (seed, site,
+                        job id) — same seed, same storm, any --workers
+    --fault-rate <ppm>  per-site firing rate in parts per million for
+                        --fault-seed (default 250000)
 
 --dry and --plan contradict --top/--shots/--seed/--expect, --baseline
 contradicts --shots/--seed/--expect/--backend/--trace, --sweep
@@ -194,11 +209,10 @@ and measurement flag (but keeps --trace); such combinations are
 rejected with exit code 2.
 
 EXIT CODES:
-    0 success                 4 staging failed
-    1 runtime failure         5 ILP budget exceeded
-    2 usage / invalid config  6 invalid plan / plan mismatch
-    3 circuit too small       7 parse error
-                              8 session pool overloaded
+    0 success                 4 staging failed    8 pool overloaded
+    1 runtime failure         5 ILP budget hit    9 job panicked
+    2 usage / invalid config  6 invalid plan     10 resource budget
+    3 circuit too small       7 parse error         exceeded
 ";
 
 fn parse_args() -> Result<Args, String> {
@@ -225,6 +239,9 @@ fn parse_args() -> Result<Args, String> {
         workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
         queue: 64,
         cache: 32,
+        fault_seed: None,
+        fault_rate: 250_000,
+        fault_rate_set: false,
         threads_set: false,
         l_set: false,
         backend: BackendKind::Auto,
@@ -280,6 +297,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--queue" => args.queue = take(&mut i)?.parse().map_err(|e| format!("--queue: {e}"))?,
             "--cache" => args.cache = take(&mut i)?.parse().map_err(|e| format!("--cache: {e}"))?,
+            "--fault-seed" => {
+                args.fault_seed = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--fault-seed: {e}"))?,
+                )
+            }
+            "--fault-rate" => {
+                args.fault_rate = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?;
+                args.fault_rate_set = true;
+            }
             "--shots" => args.shots = take(&mut i)?.parse().map_err(|e| format!("--shots: {e}"))?,
             "--seed" => {
                 args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?;
@@ -376,14 +406,23 @@ fn check_flag_conflicts(args: &Args) -> Result<(), String> {
                  circuit, so there is no -n to default from)"
                 .to_string());
         }
+        if args.fault_rate_set && args.fault_seed.is_none() {
+            return Err("--fault-rate tunes the fault-injection harness; it needs \
+                 --fault-seed"
+                .to_string());
+        }
         return Ok(());
     }
-    // `--workers/--queue/--cache` shape the session pool only.
+    // `--workers/--queue/--cache` (and the fault harness) shape the
+    // session pool only.
     if args.workers != std::thread::available_parallelism().map_or(1, |p| p.get())
         || args.queue != 64
         || args.cache != 32
     {
         return Err("--workers/--queue/--cache apply to the serve subcommand only".to_string());
+    }
+    if args.fault_seed.is_some() || args.fault_rate_set {
+        return Err("--fault-seed/--fault-rate apply to the serve subcommand only".to_string());
     }
     if args.dry && wants_measurements {
         return Err(format!(
@@ -477,6 +516,8 @@ fn error_exit(e: &atlas::core::AtlasError) -> ExitCode {
         InvalidPlan { .. } | PlanMismatch { .. } => 6,
         ParseError { .. } => 7,
         Overloaded { .. } => 8,
+        JobPanicked { .. } => 9,
+        ResourceExhausted { .. } => 10,
         // Future variants (the enum is non_exhaustive): generic failure.
         _ => 1,
     })
@@ -520,9 +561,11 @@ fn usage_error(msg: &str) -> ExitCode {
 /// itself was served.
 fn run_serve(args: &Args) -> ExitCode {
     use atlas::serve::{
-        json, parse_line, render_response, render_stats, JobLine, ServeConfig, SessionPool,
+        json, parse_line, render_response, render_stats, FaultPlan, JobLine, ServeConfig,
+        SessionPool,
     };
     use std::io::BufRead;
+    use std::time::Duration;
 
     // One thread per job by default: serve parallelizes across workers,
     // not inside a job (results are identical either way).
@@ -535,6 +578,7 @@ fn run_serve(args: &Args) -> ExitCode {
     let cfg = match AtlasConfig::builder()
         .threads(threads)
         .recorder(recorder.clone())
+        .memory_budget(MemoryBudget::bytes(MemoryBudget::SINGLE_HOST))
         .build()
     {
         Ok(c) => c,
@@ -545,10 +589,15 @@ fn run_serve(args: &Args) -> ExitCode {
         gpus_per_node: args.gpus_per_node,
         local_qubits: args.local_qubits,
     };
+    let fault_plan = match args.fault_seed {
+        Some(seed) => FaultPlan::seeded(seed, args.fault_rate),
+        None => FaultPlan::disabled(),
+    };
     let serve_cfg = ServeConfig {
         workers: args.workers,
         queue_capacity: args.queue,
         cache_capacity: args.cache,
+        fault_plan,
     };
     let pool = match SessionPool::new(spec, CostModel::default(), cfg, serve_cfg) {
         Ok(p) => p,
@@ -558,6 +607,12 @@ fn run_serve(args: &Args) -> ExitCode {
         "serve   : {} node(s) x {} GPU(s), L={}; {} worker(s), queue {}, plan cache {}",
         args.nodes, args.gpus_per_node, args.local_qubits, args.workers, args.queue, args.cache
     );
+    if let Some(seed) = args.fault_seed {
+        eprintln!(
+            "serve   : fault injection armed (seed {seed}, rate {} ppm/site)",
+            args.fault_rate
+        );
+    }
 
     /// A response slot, in submission order.
     enum Pending {
@@ -592,11 +647,24 @@ fn run_serve(args: &Args) -> ExitCode {
                 pending.push(Pending::Ready(render_stats(&id, &pool.stats())));
             }
             // Backpressure: block for queue space rather than dropping
-            // jobs read from a pipe.
+            // jobs read from a pipe; a `deadline_ms` bounds both the
+            // queue wait and the job itself. Submission failures
+            // (admission, deadline expiry while queued) answer in-band
+            // at the job's position — one bad job never aborts the
+            // stream.
             Ok(JobLine::Job(job)) => {
-                match pool.submit_blocking(&job.tenant, job.circuit, job.request) {
+                let submitted = match job.deadline_ms {
+                    Some(ms) => pool.submit_with_deadline(
+                        &job.tenant,
+                        job.circuit,
+                        job.request,
+                        Duration::from_millis(ms),
+                    ),
+                    None => pool.submit_blocking(&job.tenant, job.circuit, job.request),
+                };
+                match submitted {
                     Ok(handle) => pending.push(Pending::Waiting(job.id, handle)),
-                    Err(e) => return error_exit(&e),
+                    Err(e) => pending.push(Pending::Ready(render_response(&job.id, &Err(e)))),
                 }
             }
         }
@@ -611,12 +679,15 @@ fn run_serve(args: &Args) -> ExitCode {
     }
     let stats = pool.shutdown();
     eprintln!(
-        "serve   : {} job(s): {} ok, {} failed, {} cancelled, {} rejected; \
-         plan cache {}/{} hit(s) ({} evicted, {} resident); peak queue {}",
+        "serve   : {} job(s): {} ok, {} failed, {} cancelled, {} deadline-exceeded, \
+         {} panicked, {} rejected; plan cache {}/{} hit(s) ({} evicted, {} resident); \
+         peak queue {}",
         stats.jobs_submitted,
         stats.jobs_completed,
         stats.jobs_failed,
         stats.jobs_cancelled,
+        stats.jobs_deadline_exceeded,
+        stats.jobs_panicked,
         stats.jobs_rejected,
         stats.cache_hits,
         stats.cache_hits + stats.cache_misses,
@@ -662,12 +733,18 @@ fn main() -> ExitCode {
     } else {
         Recorder::default()
     };
+    // The CLI is the single-host entry point: functional requests are
+    // admitted against a 3 GiB peak-state budget (which admits exactly
+    // the n ≤ 26 circuits the historical heuristic did) and rejected
+    // with a typed ResourceExhausted instead of an allocator abort.
+    let budget = MemoryBudget::bytes(MemoryBudget::SINGLE_HOST);
     let mut builder = AtlasConfig::builder()
         .threads(args.threads)
         .shots(args.shots)
         .backend(args.backend)
         .noise(args.noise)
         .trajectories(args.trajectories)
+        .memory_budget(budget)
         .recorder(recorder.clone());
     if args.seed_set {
         builder = builder.seed(args.seed);
@@ -700,18 +777,20 @@ fn main() -> ExitCode {
     // statevector run (where the only legacy option was --dry).
     let clifford = circuit.is_clifford();
     if args.noise > 0.0 {
-        if !clifford && n > 26 {
-            return usage_error(&format!(
-                "n = {n} exceeds the functional limit (26) and the circuit is \
-                 not all-Clifford; --noise needs a functional engine"
-            ));
+        // Noise needs a functional engine: a non-Clifford circuit over
+        // the memory budget cannot run at all.
+        if !clifford && !budget.admits(n, args.local_qubits.min(n)) {
+            return error_exit(&AtlasError::ResourceExhausted {
+                needed: MemoryBudget::peak_bytes(n, args.local_qubits.min(n)),
+                budget: budget.enforced(),
+            });
         }
         return run_noisy_path(&args, &circuit, cfg, &paulis);
     }
     let use_stabilizer = args.backend == BackendKind::Stabilizer
         || (args.backend == BackendKind::Auto
             && clifford
-            && n > 26
+            && !budget.admits(n, args.local_qubits.min(n))
             && !args.dry
             && !args.plan_only
             && args.baseline.is_none()
@@ -735,15 +814,22 @@ fn main() -> ExitCode {
             global: spec.global_qubits(),
         });
     }
-    let dry = args.dry || n > 26;
+    let dry = args.dry || !budget.admits(n, spec.local_qubits);
     if dry && !args.dry {
+        // Measurement flags need a functional run; the budget rejection
+        // is typed (exit 10), never an allocator abort.
         if args.shots > 0 || !paulis.is_empty() || args.top_set || args.sweep > 0 {
-            return usage_error(&format!(
-                "n = {n} exceeds the functional limit (26); \
-                 --top/--shots/--expect/--sweep need a functional run"
-            ));
+            return error_exit(&AtlasError::ResourceExhausted {
+                needed: MemoryBudget::peak_bytes(n, spec.local_qubits),
+                budget: budget.enforced(),
+            });
         }
-        eprintln!("note: n = {n} exceeds the functional limit; switching to --dry");
+        eprintln!(
+            "note: n = {n} exceeds the functional memory budget \
+             (max {} qubits at L={}); switching to --dry",
+            budget.max_functional_qubits(spec.local_qubits),
+            spec.local_qubits
+        );
     }
 
     print_circuit_banner(&circuit, n);

@@ -23,7 +23,7 @@ pub mod prelude {
     pub use atlas_circuit::{generators::Family, Circuit, Gate, GateKind};
     pub use atlas_core::backend::{BackendPlan, BackendRun, SimulatorBackend};
     pub use atlas_core::config::{
-        AtlasConfig, AtlasConfigBuilder, BackendKind, KernelAlgo, StagingAlgo,
+        AtlasConfig, AtlasConfigBuilder, BackendKind, KernelAlgo, MemoryBudget, StagingAlgo,
     };
     pub use atlas_core::session::{CircuitFingerprint, CompiledPlan, Execution, Planner};
     pub use atlas_core::simulate::{simulate, SimulationOutput};

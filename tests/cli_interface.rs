@@ -99,16 +99,6 @@ fn contradictory_flags_are_rejected_with_exit_2() {
             "threads",
         ),
         (
-            // Auto-dry at n > 26 must not silently drop measurements.
-            vec!["--family", "qft", "-n", "30", "--shots", "4"],
-            "functional",
-        ),
-        (
-            // ... nor a sweep.
-            vec!["--family", "qft", "-n", "30", "--sweep", "2"],
-            "functional",
-        ),
-        (
             vec!["--family", "qft", "-n", "8", "--sweep", "2", "--dry"],
             "--dry",
         ),
@@ -179,6 +169,31 @@ fn contradictory_flags_are_rejected_with_exit_2() {
         assert!(
             stderr(&out).contains(needle),
             "{args:?}: error should mention '{needle}', got: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn over_budget_functional_requests_exit_ten() {
+    // An over-budget circuit with measurement flags cannot silently
+    // auto-dry; it gets the typed ResourceExhausted rejection (exit 10)
+    // rather than a usage error or an allocator abort.
+    for args in [
+        vec!["--family", "qft", "-n", "30", "--shots", "4"],
+        vec!["--family", "qft", "-n", "30", "--sweep", "2"],
+        vec!["--family", "qft", "-n", "30", "--top", "4"],
+    ] {
+        let out = atlas_sim(&args);
+        assert_eq!(
+            exit_code(&out),
+            10,
+            "{args:?} should exit 10: {}",
+            stderr(&out)
+        );
+        assert!(
+            stderr(&out).contains("memory") && stderr(&out).contains("budget"),
+            "{args:?}: error should mention the memory budget, got: {}",
             stderr(&out)
         );
     }
@@ -454,4 +469,125 @@ fn profile_works_on_dry_runs_and_contradicts_plan() {
     let out = atlas_sim(&["--family", "qft", "-n", "8", "--plan", "--profile"]);
     assert_eq!(exit_code(&out), 2);
     assert!(stderr(&out).contains("--profile"), "{}", stderr(&out));
+}
+
+/// The serve failure contract at the CLI layer: an over-budget job and
+/// an already-expired deadline answer **in-band** at their stream
+/// position (typed kind, `ok:false`), the surrounding jobs are served
+/// normally, and the process still exits 0 — one bad job never aborts
+/// the stream.
+#[test]
+fn serve_answers_failures_in_band_and_exits_zero() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let input = concat!(
+        r#"{"id":"ok","tenant":"t","op":"execute","family":"ghz","n":8}"#,
+        "\n",
+        r#"{"id":"big","tenant":"t","op":"execute","family":"ghz","n":40}"#,
+        "\n",
+        r#"{"id":"late","tenant":"t","op":"execute","family":"ghz","n":8,"deadline_ms":0}"#,
+        "\n",
+        r#"{"op":"stats","id":"s"}"#,
+        "\n",
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_atlas-sim"))
+        .args(["serve", "-L", "5"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to launch atlas-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write job stream");
+    let out = child.wait_with_output().expect("serve run");
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+
+    let stdout = stdout(&out);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 4, "one response per line: {stdout}");
+    assert!(
+        lines[0].contains(r#""id":"ok""#) && lines[0].contains(r#""ok":true"#),
+        "line 0: {}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains(r#""kind":"resource-exhausted""#),
+        "line 1: {}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains(r#""deadline_exceeded":true"#),
+        "line 2: {}",
+        lines[2]
+    );
+    // The stats barrier accounts for all of it: the over-budget job was
+    // rejected (never submitted), the expired one is deadline-exceeded.
+    assert!(
+        lines[3].contains(r#""submitted":2"#)
+            && lines[3].contains(r#""rejected":1"#)
+            && lines[3].contains(r#""deadline_exceeded":1"#),
+        "line 3: {}",
+        lines[3]
+    );
+}
+
+/// Panic isolation at the CLI layer: with the fault harness armed at
+/// rate 1 (every job panics at the worker site), every response is an
+/// in-band `job-panicked` error, the pool survives each one, and the
+/// exit code is still 0.
+#[test]
+fn serve_survives_injected_panics() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let input = concat!(
+        r#"{"id":"p0","tenant":"t","op":"plan","family":"ghz","n":8}"#,
+        "\n",
+        r#"{"id":"p1","tenant":"u","op":"execute","family":"ghz","n":8}"#,
+        "\n",
+    );
+    let mut child = Command::new(env!("CARGO_BIN_EXE_atlas-sim"))
+        .args([
+            "serve",
+            "-L",
+            "5",
+            "--workers",
+            "1",
+            "--fault-seed",
+            "1",
+            "--fault-rate",
+            "1000000",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to launch atlas-sim serve");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write job stream");
+    let out = child.wait_with_output().expect("serve run");
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let stdout = stdout(&out);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    for line in lines {
+        assert!(
+            line.contains(r#""kind":"job-panicked""#),
+            "expected an in-band panic response: {line}"
+        );
+    }
+    assert!(
+        stderr(&out).contains("fault injection armed"),
+        "stderr should announce the armed harness: {}",
+        stderr(&out)
+    );
 }

@@ -36,6 +36,7 @@ fn executed(outcome: Result<JobOutcome, AtlasError>) -> JobOutput {
     match outcome.expect("job failed") {
         JobOutcome::Output(out) => out,
         JobOutcome::Cancelled => panic!("job unexpectedly cancelled"),
+        JobOutcome::DeadlineExceeded => panic!("job unexpectedly hit a deadline"),
     }
 }
 
@@ -227,6 +228,7 @@ fn full_queue_rejects_with_typed_overloaded() {
         workers: 1,
         queue_capacity: 2,
         cache_capacity: 4,
+        ..ServeConfig::default()
     });
     p.pause();
     let circuit = atlas::circuit::generators::qaoa(8);
@@ -316,6 +318,7 @@ fn plan_cache_is_bounded_lru() {
         workers: 1,
         queue_capacity: 16,
         cache_capacity: 2,
+        ..ServeConfig::default()
     });
     // Three structurally distinct circuits (different gate counts).
     let mut circuits = Vec::new();
@@ -364,6 +367,7 @@ fn concurrent_tenants_with_cancellations_balance_exactly() {
         workers: 2,
         queue_capacity: 3,
         cache_capacity: 4,
+        ..ServeConfig::default()
     }));
     let ok = Arc::new(AtomicU64::new(0));
     let cancelled = Arc::new(AtomicU64::new(0));
@@ -393,6 +397,9 @@ fn concurrent_tenants_with_cancellations_balance_exactly() {
                         JobOutcome::Output(other) => panic!("unexpected output {other:?}"),
                         JobOutcome::Cancelled => {
                             cancelled.fetch_add(1, Ordering::Relaxed);
+                        }
+                        JobOutcome::DeadlineExceeded => {
+                            panic!("no deadlines in this workload")
                         }
                     }
                 }

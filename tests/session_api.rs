@@ -270,3 +270,70 @@ fn final_mapping_is_consistent_with_measurements() {
         }
     }
 }
+
+/// The library-layer admission gate: a [`CompiledPlan`] whose EXECUTE
+/// would allocate past [`AtlasConfig::memory_budget`] returns the typed
+/// [`AtlasError::ResourceExhausted`] *before* touching any amplitude
+/// memory. Planning itself (PARTITION) is never gated — plans are
+/// cheap and reusable under a later, larger budget.
+#[test]
+fn over_budget_execute_is_rejected_typed() {
+    let circuit = atlas::circuit::generators::qaoa(8);
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 5,
+    };
+    let cfg = AtlasConfig {
+        memory_budget: MemoryBudget::bytes(1 << 10),
+        ..AtlasConfig::default()
+    };
+    let compiled = Planner::new(spec, CostModel::default(), cfg)
+        .plan(&circuit)
+        .expect("planning is not gated by the budget");
+    match compiled.execute(&circuit) {
+        Err(AtlasError::ResourceExhausted { needed, budget }) => {
+            assert_eq!(needed, MemoryBudget::peak_bytes(8, 5));
+            assert_eq!(budget, 1 << 10);
+        }
+        other => panic!("expected ResourceExhausted, got: {other:?}"),
+    }
+}
+
+/// The cooperative-interruption contract of
+/// [`CompiledPlan::execute_with`]: a probe that never fires leaves the
+/// run byte-identical to plain [`CompiledPlan::execute`]; a probe that
+/// fires immediately stops at the first stage barrier with `Ok(None)`
+/// (no error, no partial result).
+#[test]
+fn execute_with_probe_interrupts_or_is_invisible() {
+    let circuit = atlas::circuit::generators::qaoa(8);
+    let spec = MachineSpec {
+        nodes: 2,
+        gpus_per_node: 2,
+        local_qubits: 5,
+    };
+    let cfg = AtlasConfig {
+        final_unpermute: true,
+        ..AtlasConfig::default()
+    };
+    let compiled = Planner::new(spec, CostModel::default(), cfg)
+        .plan(&circuit)
+        .unwrap();
+
+    let plain = compiled.execute(&circuit).unwrap();
+    let probed = compiled
+        .execute_with(&circuit, &|| false)
+        .unwrap()
+        .expect("a never-firing probe cannot interrupt");
+    assert_eq!(plain.report.total_secs, probed.report.total_secs);
+    assert_eq!(plain.report.kernels, probed.report.kernels);
+    assert_eq!(
+        plain.state.as_ref().unwrap().amplitudes(),
+        probed.state.as_ref().unwrap().amplitudes(),
+        "an unfired probe must not perturb a single amplitude"
+    );
+
+    // An always-true probe stops EXECUTE at the first barrier.
+    assert!(compiled.execute_with(&circuit, &|| true).unwrap().is_none());
+}

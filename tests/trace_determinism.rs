@@ -166,6 +166,7 @@ fn serve_round(workers: usize) -> (String, Vec<String>, atlas::serve::PoolStats)
         .map(|t| match t.wait().expect("job failed") {
             JobOutcome::Output(out) => format!("{out:?}"),
             JobOutcome::Cancelled => panic!("job unexpectedly cancelled"),
+            JobOutcome::DeadlineExceeded => panic!("job unexpectedly hit a deadline"),
         })
         .collect();
     let stats = pool.shutdown();
